@@ -1,0 +1,171 @@
+package leaky_test
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation section. Each benchmark regenerates its artifact at
+// a reduced-but-representative scale and reports the headline metrics
+// through b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
+// reproduction run. EXPERIMENTS.md records paper-vs-measured values.
+
+import (
+	"testing"
+
+	leaky "repro"
+	"repro/internal/stats"
+)
+
+func opts() leaky.ExperimentOpts { return leaky.ExperimentOpts{Bits: 120, Seed: 1} }
+
+func BenchmarkTableI_Models(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(leaky.Models()) != 4 {
+			b.Fatal("catalog wrong")
+		}
+	}
+}
+
+func BenchmarkFigure2_PathHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, _ := leaky.Figure2(opts())
+		b.ReportMetric(stats.Mean(data.DSB), "DSB-cycles")
+		b.ReportMetric(stats.Mean(data.LSD), "LSD-cycles")
+		b.ReportMetric(stats.Mean(data.MITE), "MITE-cycles")
+	}
+}
+
+func BenchmarkFigure4_LCPIssue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := leaky.Figure4(opts())
+		b.ReportMetric(rows[0].IPC, "mixed-IPC")
+		b.ReportMetric(rows[1].IPC, "ordered-IPC")
+	}
+}
+
+func BenchmarkTableII_MTEvictionPatterns(b *testing.B) {
+	o := opts()
+	o.Bits = 60
+	for i := 0; i < b.N; i++ {
+		res, _ := leaky.TableII(o)
+		var worst float64
+		for _, r := range res {
+			if r.ErrorRate > worst {
+				worst = r.ErrorRate
+			}
+		}
+		b.ReportMetric(worst*100, "worst-err-%")
+	}
+}
+
+func BenchmarkTableIII_CovertMatrix(b *testing.B) {
+	o := opts()
+	o.Bits = 80
+	for i := 0; i < b.N; i++ {
+		res, _ := leaky.TableIII(o)
+		var maxRate float64
+		for _, r := range res {
+			if r.RateKbps > maxRate {
+				maxRate = r.RateKbps
+			}
+		}
+		b.ReportMetric(maxRate, "best-Kbps")
+	}
+}
+
+func BenchmarkTableIV_SlowSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := leaky.TableIV(opts())
+		b.ReportMetric(res[0].RateKbps, "G6226-Kbps")
+		b.ReportMetric(res[1].RateKbps, "E2288G-Kbps")
+	}
+}
+
+func BenchmarkTableV_PowerChannels(b *testing.B) {
+	o := opts()
+	o.Bits = 60 // 5 power bits after scaling
+	for i := 0; i < b.N; i++ {
+		res, _ := leaky.TableV(o)
+		b.ReportMetric(res[0].RateKbps, "evict-Kbps")
+		b.ReportMetric(res[1].RateKbps, "misalign-Kbps")
+	}
+}
+
+func BenchmarkTableVI_SGX(b *testing.B) {
+	o := opts()
+	o.Bits = 48
+	for i := 0; i < b.N; i++ {
+		res, _ := leaky.TableVI(o)
+		var maxRate float64
+		for _, r := range res {
+			if r.RateKbps > maxRate {
+				maxRate = r.RateKbps
+			}
+		}
+		b.ReportMetric(maxRate, "best-Kbps")
+	}
+}
+
+func BenchmarkTableVII_SpectreMissRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := leaky.TableVII(opts())
+		for _, r := range res {
+			if r.Channel == leaky.SpectreFrontend {
+				b.ReportMetric(r.L1MissRate*100, "frontend-miss-%")
+				b.ReportMetric(r.Accuracy*100, "frontend-acc-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8_DSweep(b *testing.B) {
+	o := opts()
+	o.Bits = 40
+	for i := 0; i < b.N; i++ {
+		pts, _ := leaky.Figure8(o)
+		b.ReportMetric(pts[0].RateKbps, "G6226-d1-Kbps")
+		b.ReportMetric(pts[5].RateKbps, "G6226-d6-Kbps")
+	}
+}
+
+func BenchmarkFigure9_PowerHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, _ := leaky.Figure9(opts())
+		b.ReportMetric(stats.Mean(d.LSD), "LSD-W")
+		b.ReportMetric(stats.Mean(d.DSB), "DSB-W")
+		b.ReportMetric(stats.Mean(d.MITE), "MITE-W")
+	}
+}
+
+func BenchmarkFigure10_Microcode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		obs, _ := leaky.Figure10(opts())
+		b.ReportMetric(obs[0].Ratio(), "patch1-ratio")
+		b.ReportMetric(obs[1].Ratio(), "patch2-ratio")
+	}
+}
+
+func BenchmarkFigure11_CNNTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		traces, _ := leaky.Figure11(opts())
+		b.ReportMetric(float64(len(traces)), "victims")
+	}
+}
+
+func BenchmarkFigure12_Distances(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cnn, gb, _ := leaky.Figure12(opts())
+		b.ReportMetric(cnn.Intra, "cnn-intra")
+		b.ReportMetric(cnn.Inter, "cnn-inter")
+		b.ReportMetric(gb.Inter, "geekbench-inter")
+	}
+}
+
+func BenchmarkAblation_Defenses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := leaky.XeonE2288G()
+		baseErr := leaky.DefenseResidualError(base, 60)
+		defErr := leaky.DefenseResidualError(leaky.EqualizePaths(base), 60)
+		cost := leaky.DefenseCost(leaky.Gold6226(), leaky.EqualizePaths(leaky.Gold6226()))
+		b.ReportMetric(baseErr*100, "baseline-err-%")
+		b.ReportMetric(defErr*100, "defended-err-%")
+		b.ReportMetric(cost, "slowdown-x")
+	}
+}

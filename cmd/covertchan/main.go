@@ -1,0 +1,87 @@
+// Command covertchan transmits a message over a chosen frontend covert
+// channel and reports the achieved transmission and error rates.
+//
+// Usage:
+//
+//	covertchan -model "Xeon E-2288G" -attack misalignment -variant fast -text HELLO
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	leaky "repro"
+)
+
+// toBits encodes text as a bit string, MSB first.
+func toBits(text string) string {
+	var b strings.Builder
+	for _, c := range []byte(text) {
+		for i := 7; i >= 0; i-- {
+			b.WriteByte('0' + (c>>uint(i))&1)
+		}
+	}
+	return b.String()
+}
+
+// fromBits decodes a bit string back to text.
+func fromBits(bits string) string {
+	var b strings.Builder
+	for i := 0; i+8 <= len(bits); i += 8 {
+		var c byte
+		for j := 0; j < 8; j++ {
+			c = c<<1 | (bits[i+j] - '0')
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func main() {
+	var (
+		model   = flag.String("model", "Gold 6226", "CPU model (Table I name)")
+		attack  = flag.String("attack", "eviction", "eviction | misalignment | slowswitch | power")
+		variant = flag.String("variant", "fast", "fast | stealthy | mt | sgx")
+		text    = flag.String("text", "LEAKY", "message to transmit")
+	)
+	flag.Parse()
+
+	m, ok := leaky.ModelByName(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q; models:\n", *model)
+		for _, mm := range leaky.Models() {
+			fmt.Fprintf(os.Stderr, "  %s\n", mm.Name)
+		}
+		os.Exit(1)
+	}
+	kind := leaky.Eviction
+	if strings.HasPrefix(*attack, "mis") {
+		kind = leaky.Misalignment
+	}
+
+	var ch leaky.Channel
+	switch {
+	case *attack == "slowswitch":
+		ch = leaky.NewSlowSwitchChannel(m)
+	case *attack == "power":
+		ch = leaky.NewPowerChannel(m, kind)
+	case *variant == "stealthy":
+		ch = leaky.NewStealthyCovertChannel(m, kind)
+	case *variant == "mt":
+		ch = leaky.NewMTCovertChannel(m, kind)
+	case *variant == "sgx":
+		ch = leaky.NewSGXChannel(m, kind, false)
+	default:
+		ch = leaky.NewFastCovertChannel(m, kind)
+	}
+
+	bits := toBits(*text)
+	fmt.Printf("channel : %s on %s\n", ch.Name(), m.Name)
+	fmt.Printf("sending : %q (%d bits)\n", *text, len(bits))
+	res := leaky.Transmit(ch, m.Name, bits)
+	fmt.Printf("received: %q\n", fromBits(res.Received))
+	fmt.Printf("rate    : %.2f Kbps\n", res.RateKbps)
+	fmt.Printf("errors  : %.2f%%\n", 100*res.ErrorRate)
+}

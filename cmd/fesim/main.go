@@ -1,0 +1,69 @@
+// Command fesim drives the frontend simulator directly: it lays out a
+// chain of instruction mix blocks with chosen count, DSB set, alignment,
+// and LSD state, runs it, and reports which paths delivered the micro-ops
+// and at what cost. It is the exploration tool behind the paper's
+// Section IV reverse engineering — use it to see for yourself where the
+// LSD stops locking or the DSB starts thrashing.
+//
+// Examples:
+//
+//	fesim -blocks 8                 # fits LSD and one DSB set
+//	fesim -blocks 9                 # 9th way: DSB evictions, MITE fallback
+//	fesim -blocks 8 -misaligned 3   # misalignment collapses the LSD
+//	fesim -blocks 8 -lsd=false      # the DSB path alone
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "Gold 6226", "CPU model (Table I name)")
+		set        = flag.Int("set", 3, "target DSB set (0-31)")
+		blocks     = flag.Int("blocks", 8, "aligned instruction mix blocks in the chain")
+		misaligned = flag.Int("misaligned", 0, "misaligned blocks appended to the chain")
+		iters      = flag.Int("iters", 200, "loop iterations")
+		lsd        = flag.Bool("lsd", true, "LSD enabled (microcode patch1)")
+		seed       = flag.Uint64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	m, ok := cpu.ModelByName(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(1)
+	}
+	m = m.WithLSD(*lsd)
+	core := cpu.NewCore(m, *seed)
+
+	chain := isa.MixChainMixed(*set, *blocks, *misaligned)
+	total := *blocks + *misaligned
+	fmt.Printf("chain: %d aligned + %d misaligned mix blocks -> DSB set %d (%d uops/iteration)\n",
+		*blocks, *misaligned, *set, total*5)
+	fmt.Printf("model: %s, LSD %v\n\n", m.Name, *lsd)
+
+	start := core.Cycle()
+	core.Enqueue(0, isa.NewLoopStream(chain, *iters), nil)
+	core.RunUntilIdle(500_000_000)
+	cycles := core.Cycle() - start
+
+	c := core.Counters(0)
+	uops := float64(c.UOps())
+	fmt.Printf("cycles            %d  (%.2f cycles/block)\n", cycles, float64(cycles)/float64(total**iters))
+	fmt.Printf("IPC               %.2f\n", uops/float64(cycles))
+	fmt.Printf("uops via LSD      %8d  (%5.1f%%)\n", c.UOpsLSD, 100*float64(c.UOpsLSD)/uops)
+	fmt.Printf("uops via DSB      %8d  (%5.1f%%)\n", c.UOpsDSB, 100*float64(c.UOpsDSB)/uops)
+	fmt.Printf("uops via MITE     %8d  (%5.1f%%)\n", c.UOpsMITE, 100*float64(c.UOpsMITE)/uops)
+	fmt.Printf("LSD locks/flushes %d/%d\n", c.LSDLocks, c.LSDFlushes)
+	fmt.Printf("switch penalties  %.0f cycles over %d switches\n", c.SwitchCycles, c.SwitchCount)
+	fmt.Printf("L1I misses        %d\n", c.L1IMisses)
+	fmt.Printf("DSB hits/misses   %d/%d (evictions %d)\n",
+		core.FE.DSB.Stats().Hits, core.FE.DSB.Stats().Misses, core.FE.DSB.Stats().Evictions)
+	fmt.Printf("alignment tracker %d stale entries\n", core.FE.Align().Level())
+}

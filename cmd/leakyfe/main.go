@@ -1,0 +1,75 @@
+// Command leakyfe regenerates the paper's evaluation: every table and
+// figure of "Leaky Frontends" (HPCA 2022) on the simulated frontend.
+//
+// Usage:
+//
+//	leakyfe -list
+//	leakyfe -run all
+//	leakyfe -run tableIII -bits 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	leaky "repro"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(leaky.ExperimentOpts) string
+}
+
+func catalog() []experiment {
+	return []experiment{
+		{"tableI", "tested CPU models", func(leaky.ExperimentOpts) string { return leaky.TableI() }},
+		{"figure2", "frontend path timing histogram", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure2(o); return s }},
+		{"figure4", "LCP mixed vs ordered issue", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure4(o); return s }},
+		{"tableII", "MT eviction channel by message pattern", func(o leaky.ExperimentOpts) string { _, s := leaky.TableII(o); return s }},
+		{"tableIII", "covert-channel matrix", func(o leaky.ExperimentOpts) string { _, s := leaky.TableIII(o); return s }},
+		{"tableIV", "slow-switch channel", func(o leaky.ExperimentOpts) string { _, s := leaky.TableIV(o); return s }},
+		{"tableV", "power channels", func(o leaky.ExperimentOpts) string { _, s := leaky.TableV(o); return s }},
+		{"tableVI", "SGX channels", func(o leaky.ExperimentOpts) string { _, s := leaky.TableVI(o); return s }},
+		{"tableVII", "Spectre v1 L1 miss rates", func(o leaky.ExperimentOpts) string { _, s := leaky.TableVII(o); return s }},
+		{"figure8", "MT eviction d sweep", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure8(o); return s }},
+		{"figure9", "per-path power histogram", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure9(o); return s }},
+		{"figure10", "microcode patch fingerprinting", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure10(o); return s }},
+		{"figure11", "CNN fingerprinting IPC traces", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure11(o); return s }},
+		{"figure12", "fingerprinting distances", func(o leaky.ExperimentOpts) string { _, _, s := leaky.Figure12(o); return s }},
+	}
+}
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiments")
+		run  = flag.String("run", "all", "experiment to run (or 'all')")
+		bits = flag.Int("bits", 200, "covert-channel message length")
+		seed = flag.Uint64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	exps := catalog()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	o := leaky.ExperimentOpts{Bits: *bits, Seed: *seed}
+	ran := 0
+	for _, e := range exps {
+		if *run != "all" && !strings.EqualFold(e.name, *run) {
+			continue
+		}
+		fmt.Println(e.run(o))
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+		os.Exit(1)
+	}
+}

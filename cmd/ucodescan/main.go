@@ -1,0 +1,25 @@
+// Command ucodescan demonstrates microcode patch fingerprinting
+// (Section X): an unprivileged timing measurement reveals whether the
+// machine runs the old (LSD-enabled) or new (LSD-disabled) microcode,
+// and hence which CVEs remain unpatched.
+package main
+
+import (
+	"fmt"
+
+	leaky "repro"
+)
+
+func main() {
+	m := leaky.Gold6226()
+	for _, actual := range []leaky.MicrocodePatch{leaky.Patch1, leaky.Patch2} {
+		detected := leaky.DetectMicrocode(m, actual)
+		fmt.Printf("machine running %v\n", actual)
+		fmt.Printf("  attacker detects: %v\n", detected)
+		if detected == leaky.Patch1 {
+			fmt.Println("  => VT-d escalation CVE-2021-24489 likely UNPATCHED on this host")
+		} else {
+			fmt.Println("  => newer microcode present; CVE-2021-24489 patched")
+		}
+	}
+}

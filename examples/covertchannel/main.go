@@ -1,0 +1,43 @@
+// Covert channel example: send a secret between two cooperating
+// processes on one machine through the frontend, with no cache footprint
+// (Sections V-C / V-D).
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	leaky "repro"
+)
+
+func bits(s string) string {
+	var b strings.Builder
+	for _, c := range []byte(s) {
+		for i := 7; i >= 0; i-- {
+			b.WriteByte('0' + (c>>uint(i))&1)
+		}
+	}
+	return b.String()
+}
+
+func text(bs string) string {
+	var b strings.Builder
+	for i := 0; i+8 <= len(bs); i += 8 {
+		var c byte
+		for j := 0; j < 8; j++ {
+			c = c<<1 | (bs[i+j] - '0')
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func main() {
+	secret := "FRONTENDS LEAK"
+	for _, m := range leaky.Models() {
+		ch := leaky.NewFastCovertChannel(m, leaky.Misalignment)
+		res := leaky.Transmit(ch, m.Name, bits(secret))
+		fmt.Printf("%-14s %-38s %8.0f Kbps  err %5.2f%%  -> %q\n",
+			m.Name, ch.Name(), res.RateKbps, 100*res.ErrorRate, text(res.Received))
+	}
+}

@@ -1,0 +1,23 @@
+// Quickstart: observe the three frontend paths' timing signatures — the
+// root cause behind every attack in the paper (Figure 2).
+package main
+
+import (
+	"fmt"
+
+	leaky "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	fmt.Println("Leaky Frontends quickstart: frontend path timing on the simulated Gold 6226")
+	fmt.Println()
+	fmt.Print(leaky.TableI())
+	fmt.Println()
+
+	data, rendered := leaky.Figure2(leaky.ExperimentOpts{Bits: 50, Seed: 7})
+	fmt.Println(rendered)
+	fmt.Printf("mean cycles per 8 chain passes: DSB=%.0f  LSD=%.0f  MITE+DSB=%.0f\n",
+		stats.Mean(data.DSB), stats.Mean(data.LSD), stats.Mean(data.MITE))
+	fmt.Println("the gaps between these paths are the covert channel.")
+}

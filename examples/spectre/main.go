@@ -1,0 +1,25 @@
+// Spectre example: the paper's in-domain Spectre v1 variant leaks a
+// transiently-read secret through the DSB — with a far smaller cache
+// footprint than classic cache-channel Spectre (Section IX, Table VII).
+package main
+
+import (
+	"fmt"
+
+	leaky "repro"
+)
+
+func main() {
+	secret := []byte("frontend")
+	fmt.Printf("leaking %q (5 bits per chunk) through each covert channel:\n\n", secret)
+	fmt.Printf("%-10s %10s %16s\n", "channel", "accuracy", "L1 miss rate")
+	for _, ch := range []leaky.SpectreChannel{
+		leaky.SpectreMemFR, leaky.SpectreL1DFR, leaky.SpectreL1DLRU,
+		leaky.SpectreL1IFR, leaky.SpectreL1IPP, leaky.SpectreFrontend,
+	} {
+		res := leaky.RunSpectre(ch, secret)
+		fmt.Printf("%-10v %9.0f%% %15.3f%%\n", ch, 100*res.Accuracy, 100*res.L1MissRate)
+	}
+	fmt.Println("\nthe frontend channel leaves the smallest footprint: cache-based")
+	fmt.Println("Spectre defenses do not see it.")
+}

@@ -1,0 +1,16 @@
+// Microcode detection example: fingerprint the machine's microcode patch
+// level from unprivileged frontend timing (Section X, Figure 10).
+package main
+
+import (
+	"fmt"
+
+	leaky "repro"
+)
+
+func main() {
+	_, rendered := leaky.Figure10(leaky.ExperimentOpts{Seed: 5})
+	fmt.Println(rendered)
+	fmt.Println("a small loop that fits the LSD behaves differently only when the")
+	fmt.Println("LSD-enabled microcode is loaded; the patch level is not a secret.")
+}

@@ -1,0 +1,114 @@
+// Package backend models the execution engine behind the IDQ: an 8-port
+// Skylake-style scheduler with a 4-wide rename/retire pipe (Figure 1).
+//
+// The paper deliberately constructs its instruction mix blocks to avoid
+// backend bottlenecks — "4 mov plus 1 jmp ... exploit the ports as much
+// as possible ... avoiding load, store, or more complex instructions"
+// (Section IV-D) — so the backend's job in this reproduction is to retire
+// fast enough that the frontend is the bottleneck, while still enforcing
+// port constraints so that a *wrong* instruction mix would contend, as
+// the paper warns.
+package backend
+
+import "repro/internal/isa"
+
+// Params configures the execution engine.
+type Params struct {
+	// RetireWidth is micro-ops renamed/retired per thread per cycle.
+	RetireWidth int
+	// Ports is the number of execution ports (8 on the paper's parts).
+	Ports int
+}
+
+// DefaultParams returns the Skylake-family configuration.
+func DefaultParams() Params { return Params{RetireWidth: 4, Ports: 8} }
+
+// portMask returns the set of ports an instruction kind can issue to,
+// as a bitmask over ports 0..7 (Skylake port bindings).
+func portMask(k isa.Kind) uint8 {
+	switch k {
+	case isa.Mov, isa.Add, isa.AddLCP:
+		return 1<<0 | 1<<1 | 1<<5 | 1<<6 // ALU ports
+	case isa.Jmp:
+		return 1<<0 | 1<<6 // branch ports
+	case isa.Load:
+		return 1<<2 | 1<<3 // load AGUs
+	case isa.Store:
+		return 1 << 4 // store data
+	case isa.Nop:
+		return 0 // retires without an execution port
+	default:
+		return 1<<0 | 1<<1
+	}
+}
+
+// UOpSource is where the backend pulls micro-ops from (the frontend's
+// per-thread IDQs).
+type UOpSource interface {
+	PopUOp(t int) (isa.Inst, bool)
+	IDQLen(t int) int
+}
+
+// MemHook observes retiring memory micro-ops (the CPU core wires this to
+// the L1D cache so loads/stores generate data traffic).
+type MemHook func(t int, in isa.Inst)
+
+// Backend retires micro-ops against shared execution ports.
+type Backend struct {
+	P       Params
+	Retired [2]uint64
+	// PortConflicts counts micro-ops that had to wait a cycle because
+	// every port in their mask was busy.
+	PortConflicts uint64
+
+	prio int // alternating thread priority
+}
+
+// New builds a backend.
+func New(p Params) *Backend { return &Backend{P: p} }
+
+// Cycle retires up to RetireWidth micro-ops per thread, sharing the
+// execution ports between the two threads; the first thread considered
+// alternates each cycle. It returns the total retired this cycle.
+func (b *Backend) Cycle(src UOpSource, mem MemHook) int {
+	var portsBusy uint8
+	total := 0
+	first := b.prio
+	b.prio = 1 - b.prio
+	for i := 0; i < 2; i++ {
+		t := first ^ i
+		for n := 0; n < b.P.RetireWidth; n++ {
+			if src.IDQLen(t) == 0 {
+				break
+			}
+			// Peek via pop-and-check: find a port for the head micro-op.
+			in, ok := src.PopUOp(t)
+			if !ok {
+				break
+			}
+			mask := portMask(in.Kind)
+			conflict := false
+			if mask != 0 {
+				free := mask &^ portsBusy
+				if free == 0 {
+					// Head-of-line blocked on ports this cycle: the
+					// micro-op slips one cycle and this thread stops
+					// retiring.
+					b.PortConflicts++
+					conflict = true
+				} else {
+					portsBusy |= free & (-free) // claim lowest free port
+				}
+			}
+			b.Retired[t]++
+			total++
+			if mem != nil && (in.Kind == isa.Load || in.Kind == isa.Store) {
+				mem(t, in)
+			}
+			if conflict {
+				break
+			}
+		}
+	}
+	return total
+}

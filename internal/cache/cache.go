@@ -1,0 +1,203 @@
+// Package cache implements the set-associative caches the paper's
+// machines carry (Table I): a 32 KB, 8-way, 64-byte-line L1 instruction
+// cache with 64 sets, and an identically shaped L1 data cache. True LRU
+// replacement is modelled because the L1D-LRU covert channel (one of the
+// Table VII baselines) communicates through LRU state alone, and because
+// the paper's central stealth claim — that frontend attacks cause *no* L1
+// misses — is verified against these counters.
+package cache
+
+import "fmt"
+
+// Config describes a cache's geometry.
+type Config struct {
+	Sets     int
+	Ways     int
+	LineSize int // bytes
+}
+
+// L1Config is the L1 configuration shared by every CPU model in Table I:
+// 32 KB, 8-way, 64-byte lines, 64 sets.
+var L1Config = Config{Sets: 64, Ways: 8, LineSize: 64}
+
+// Size returns the total capacity in bytes.
+func (c Config) Size() int { return c.Sets * c.Ways * c.LineSize }
+
+// Stats counts cache events since the last Reset.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+// Accesses returns the total access count.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses/accesses, or 0 when there were no accesses.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // higher = more recently used
+}
+
+// Cache is a set-associative cache with true LRU replacement. It tracks
+// only tags (no data); the simulator needs residency and recency, not
+// contents.
+type Cache struct {
+	cfg   Config
+	lines []line // sets*ways, row-major by set
+	tick  uint64
+	stats Stats
+}
+
+// New builds an empty cache with the given geometry. It panics on
+// non-positive dimensions or a non-power-of-two line size or set count.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineSize <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	if cfg.Sets&(cfg.Sets-1) != 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: sets (%d) and line size (%d) must be powers of two", cfg.Sets, cfg.LineSize))
+	}
+	return &Cache{cfg: cfg, lines: make([]line, cfg.Sets*cfg.Ways)}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Set returns the set index for addr.
+func (c *Cache) Set(addr uint64) int {
+	return int(addr/uint64(c.cfg.LineSize)) & (c.cfg.Sets - 1)
+}
+
+// Tag returns the tag for addr.
+func (c *Cache) Tag(addr uint64) uint64 {
+	return addr / uint64(c.cfg.LineSize) / uint64(c.cfg.Sets)
+}
+
+func (c *Cache) set(idx int) []line {
+	return c.lines[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways]
+}
+
+// Access looks addr up, fills on miss (evicting the LRU way if the set is
+// full), updates recency, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	setIdx, tag := c.Set(addr), c.Tag(addr)
+	set := c.set(setIdx)
+	victim := -1
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			c.stats.Hits++
+			return true
+		}
+		switch {
+		case victim >= 0 && !set[victim].valid:
+			// Already found a free way; keep the first one.
+		case !set[i].valid:
+			victim = i
+		case victim < 0 || set[i].lru < set[victim].lru:
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	if set[victim].valid {
+		c.stats.Evictions++
+	}
+	set[victim] = line{tag: tag, valid: true, lru: c.tick}
+	return false
+}
+
+// Probe reports whether addr is resident without filling or updating
+// recency and without counting an access. Attackers use Probe-like timing;
+// the simulator's receivers use Access (which models the timed reload).
+func (c *Cache) Probe(addr uint64) bool {
+	setIdx, tag := c.Set(addr), c.Tag(addr)
+	for _, l := range c.set(setIdx) {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch updates the recency of addr if resident (an LRU-state update with
+// no fill), the primitive behind the L1D-LRU covert channel. It reports
+// whether the line was resident.
+func (c *Cache) Touch(addr uint64) bool {
+	c.tick++
+	setIdx, tag := c.Set(addr), c.Tag(addr)
+	set := c.set(setIdx)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// LRUWay returns the way index that would be evicted next in addr's set,
+// or -1 if the set has an invalid (free) way.
+func (c *Cache) LRUWay(addr uint64) int {
+	set := c.set(c.Set(addr))
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			return -1
+		}
+		if victim < 0 || set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	return victim
+}
+
+// FlushLine invalidates addr's line if resident (clflush).
+func (c *Cache) FlushLine(addr uint64) {
+	setIdx, tag := c.Set(addr), c.Tag(addr)
+	set := c.set(setIdx)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+			c.stats.Flushes++
+			return
+		}
+	}
+}
+
+// FlushAll invalidates the entire cache.
+func (c *Cache) FlushAll() {
+	for i := range c.lines {
+		if c.lines[i].valid {
+			c.lines[i].valid = false
+			c.stats.Flushes++
+		}
+	}
+}
+
+// OccupiedWays returns how many valid lines addr's set holds.
+func (c *Cache) OccupiedWays(addr uint64) int {
+	n := 0
+	for _, l := range c.set(c.Set(addr)) {
+		if l.valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+// Package channel provides the covert-channel protocol scaffolding every
+// attack in the paper shares: the Init/Encode/Decode step structure
+// (Section V), threshold calibration by sending an alternating pattern
+// (Section VI-B), nearest-mean bit decoding, and transmission-rate /
+// error-rate accounting using the Wagner-Fischer edit distance
+// (Section VI).
+package channel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// BitChannel is one covert channel: it can transmit a single bit and
+// report the simulated cycles the transmission consumed. Implementations
+// live in the attack packages.
+type BitChannel interface {
+	// Name identifies the channel (e.g. "Non-MT Fast Eviction-Based").
+	Name() string
+	// SendBit runs one full Init/Encode/Decode round for bit m ('0' or
+	// '1') and returns the receiver's measurement (cycles or energy).
+	SendBit(m byte) float64
+	// Cycles returns total simulated cycles consumed so far.
+	Cycles() uint64
+	// FreqGHz returns the platform clock for rate conversion.
+	FreqGHz() float64
+}
+
+// Result summarizes one covert transmission, in the units of the paper's
+// Tables II-VI.
+type Result struct {
+	Channel   string
+	Model     string
+	Sent      string
+	Received  string
+	Cycles    uint64
+	Seconds   float64
+	RateKbps  float64
+	ErrorRate float64
+}
+
+// String renders the result like a table row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-40s %-14s rate=%9.2f Kbps  err=%6.2f%%",
+		r.Channel, r.Model, r.RateKbps, 100*r.ErrorRate)
+}
+
+// Transmit calibrates ch on a short alternating preamble, transmits
+// message, and returns the measured rates. The calibration samples are
+// not charged to the transmission time (the paper reports steady-state
+// channel rates, with thresholds established beforehand).
+func Transmit(ch BitChannel, modelName, message string, calibBits int) Result {
+	th := Calibrate(ch, calibBits)
+	startCycles := ch.Cycles()
+	var received strings.Builder
+	for i := 0; i < len(message); i++ {
+		m := ch.SendBit(message[i])
+		received.WriteByte(th.Classify(m))
+	}
+	cycles := ch.Cycles() - startCycles
+	seconds := float64(cycles) / (ch.FreqGHz() * 1e9)
+	rate := 0.0
+	if seconds > 0 {
+		rate = float64(len(message)) / seconds / 1e3
+	}
+	return Result{
+		Channel:   ch.Name(),
+		Model:     modelName,
+		Sent:      message,
+		Received:  received.String(),
+		Cycles:    cycles,
+		Seconds:   seconds,
+		RateKbps:  rate,
+		ErrorRate: stats.BitErrorRate(message, received.String()),
+	}
+}
+
+// Calibrate sends an alternating 0/1 preamble through the channel and
+// returns the decision threshold (Section VI-B).
+func Calibrate(ch BitChannel, bits int) stats.Threshold {
+	if bits < 2 {
+		bits = 2
+	}
+	var zeros, ones []float64
+	for i := 0; i < bits; i++ {
+		if i%2 == 0 {
+			zeros = append(zeros, ch.SendBit('0'))
+		} else {
+			ones = append(ones, ch.SendBit('1'))
+		}
+	}
+	return stats.Calibrate(zeros, ones)
+}
+
+// Message patterns of Table II.
+
+// AllZeros returns an n-bit all-0s message.
+func AllZeros(n int) string { return strings.Repeat("0", n) }
+
+// AllOnes returns an n-bit all-1s message.
+func AllOnes(n int) string { return strings.Repeat("1", n) }
+
+// Alternating returns an n-bit 0101... message, the pattern used for
+// threshold calibration and most table rows.
+func Alternating(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte('0' + byte(i%2))
+	}
+	return b.String()
+}
+
+// Random returns an n-bit pseudo-random message drawn from r.
+func Random(n int, r *rng.RNG) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if r.Bool(0.5) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

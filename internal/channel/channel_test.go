@@ -1,0 +1,87 @@
+package channel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// fakeChannel is a deterministic BitChannel: 0 measures ~10, 1 ~20, with
+// a fixed cost per bit.
+type fakeChannel struct {
+	cycles uint64
+	r      *rng.RNG
+	flaky  bool
+}
+
+func (f *fakeChannel) Name() string     { return "fake" }
+func (f *fakeChannel) FreqGHz() float64 { return 1.0 }
+func (f *fakeChannel) Cycles() uint64   { return f.cycles }
+func (f *fakeChannel) SendBit(m byte) float64 {
+	f.cycles += 1000
+	base := 10.0
+	if m == '1' {
+		base = 20
+	}
+	n := f.r.NormScaled(0, 1)
+	if f.flaky {
+		n = f.r.NormScaled(0, 8)
+	}
+	return base + n
+}
+
+func TestTransmitCleanChannel(t *testing.T) {
+	ch := &fakeChannel{r: rng.New(1)}
+	res := Transmit(ch, "model", Alternating(64), 16)
+	if res.ErrorRate != 0 {
+		t.Errorf("clean channel error %.2f", res.ErrorRate)
+	}
+	if res.Received != Alternating(64) {
+		t.Error("received differs")
+	}
+	// 64 bits at 1000 cycles/bit on a 1 GHz clock = 1 Mbps = 1000 Kbps.
+	if res.RateKbps < 990 || res.RateKbps > 1010 {
+		t.Errorf("rate = %.1f Kbps, want ~1000", res.RateKbps)
+	}
+}
+
+func TestTransmitNoisyChannelHasErrors(t *testing.T) {
+	ch := &fakeChannel{r: rng.New(2), flaky: true}
+	res := Transmit(ch, "model", Alternating(200), 16)
+	if res.ErrorRate == 0 {
+		t.Error("flaky channel decoded perfectly; noise not exercised")
+	}
+	if res.ErrorRate > 0.5 {
+		t.Errorf("error rate %.2f worse than random", res.ErrorRate)
+	}
+}
+
+func TestCalibrationExcludedFromRate(t *testing.T) {
+	ch := &fakeChannel{r: rng.New(3)}
+	res := Transmit(ch, "model", Alternating(10), 40)
+	// Rate must reflect only the 10 message bits, not the 40 calibration
+	// bits.
+	if res.Cycles != 10*1000 {
+		t.Errorf("message cycles = %d, want 10000", res.Cycles)
+	}
+}
+
+func TestMessageBuilders(t *testing.T) {
+	if AllZeros(3) != "000" || AllOnes(2) != "11" || Alternating(4) != "0101" {
+		t.Error("builders wrong")
+	}
+	r := Random(1000, rng.New(4))
+	ones := strings.Count(r, "1")
+	if ones < 400 || ones > 600 {
+		t.Errorf("random message bias: %d ones in 1000", ones)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Result{Channel: "c", Model: "m", RateKbps: 12.5, ErrorRate: 0.01}
+	s := res.String()
+	if !strings.Contains(s, "12.50") || !strings.Contains(s, "1.00%") {
+		t.Errorf("render: %s", s)
+	}
+}

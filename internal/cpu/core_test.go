@@ -1,0 +1,191 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestModelCatalog(t *testing.T) {
+	ms := Models()
+	if len(ms) != 4 {
+		t.Fatalf("catalog has %d models, want 4 (Table I)", len(ms))
+	}
+	byName := map[string]Model{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	g := byName["Gold 6226"]
+	if g.Microarch != "Cascade Lake" || g.Cores != 12 || g.Threads != 24 || g.FreqGHz != 2.7 {
+		t.Errorf("Gold 6226 spec wrong: %+v", g)
+	}
+	if !g.LSDEnabled || g.SGX {
+		t.Error("Gold 6226: LSD enabled, no SGX per Table I")
+	}
+	for _, name := range []string{"Xeon E-2174G", "Xeon E-2286G"} {
+		if byName[name].LSDEnabled {
+			t.Errorf("%s must have LSD disabled (Table I footnote b)", name)
+		}
+		if !byName[name].SGX {
+			t.Errorf("%s must support SGX", name)
+		}
+	}
+	if byName["Xeon E-2288G"].HyperThreading {
+		t.Error("E-2288G has hyper-threading disabled (Table I footnote a)")
+	}
+	if !byName["Xeon E-2288G"].LSDEnabled {
+		t.Error("E-2288G has the LSD enabled")
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	if _, ok := ModelByName("Gold 6226"); !ok {
+		t.Error("Gold 6226 not found")
+	}
+	if _, ok := ModelByName("nope"); ok {
+		t.Error("bogus model found")
+	}
+}
+
+func TestWithLSD(t *testing.T) {
+	m := Gold6226().WithLSD(false)
+	if m.LSDEnabled {
+		t.Error("WithLSD(false) did not disable")
+	}
+	if !Gold6226().LSDEnabled {
+		t.Error("WithLSD mutated the catalog")
+	}
+}
+
+func TestRunTaskToCompletion(t *testing.T) {
+	c := NewCore(Gold6226(), 1)
+	blocks := isa.MixChain(3, 4, true)
+	var start, end uint64
+	c.Enqueue(0, isa.NewLoopStream(blocks, 5), func(s, e uint64) { start, end = s, e })
+	c.RunUntilIdle(1_000_000)
+	if end <= start {
+		t.Fatalf("task timing invalid: start=%d end=%d", start, end)
+	}
+	if c.Retired(0) != 5*4*5 {
+		t.Errorf("retired %d uops, want 100", c.Retired(0))
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() (uint64, float64) {
+		c := NewCore(Gold6226(), 42)
+		m := c.RunTimed(0, isa.NewLoopStream(isa.MixChain(3, 6, true), 10))
+		return c.Cycle(), m
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 != c2 || m1 != m2 {
+		t.Errorf("same-seed runs diverged: (%d,%v) vs (%d,%v)", c1, m1, c2, m2)
+	}
+}
+
+func TestEnqueueOnDisabledHTPanics(t *testing.T) {
+	c := NewCore(XeonE2288G(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("enqueue on thread 1 of an HT-disabled model must panic")
+		}
+	}()
+	c.Enqueue(1, isa.NewLoopStream(isa.MixChain(0, 1, true), 1), nil)
+}
+
+func TestSMTPartitionsOnDualActivity(t *testing.T) {
+	c := NewCore(Gold6226(), 1)
+	c.Enqueue(0, isa.NewLoopStream(isa.MixChain(3, 4, true), 200), nil)
+	c.Enqueue(1, isa.NewLoopStream(isa.MixChain(9, 4, true), 200), nil)
+	for i := 0; i < 200 && !c.FE.DSB.Partitioned(); i++ {
+		c.Step()
+	}
+	if !c.FE.DSB.Partitioned() {
+		t.Fatal("DSB did not partition with both threads active")
+	}
+	c.RunUntilIdle(1_000_000)
+	// After both threads drain and hysteresis passes, it unpartitions.
+	c.RunCycles(c.Model.PartitionHysteresis + 10)
+	if c.FE.DSB.Partitioned() {
+		t.Error("DSB still partitioned after threads went idle")
+	}
+}
+
+func TestSingleThreadNeverPartitions(t *testing.T) {
+	c := NewCore(Gold6226(), 1)
+	c.Enqueue(0, isa.NewLoopStream(isa.MixChain(3, 4, true), 100), nil)
+	c.RunUntilIdle(1_000_000)
+	if c.FE.DSB.Partitioned() {
+		t.Error("single-thread run partitioned the DSB")
+	}
+}
+
+func TestSMTSharingSlowsThread(t *testing.T) {
+	// Co-running a demanding sibling substantially reduces a thread's
+	// frontend bandwidth (the basis of the Section XI fingerprinting
+	// signal). The receiver is the paper's nop loop (delivery-hungry);
+	// the victim is a MITE-thrashing 9-block chain.
+	nops := []*isa.Block{isa.NopBlockLen(0x500000, 100, 2)}
+	isa.ChainLoop(nops)
+
+	solo := NewCore(Gold6226(), 1)
+	var soloTime uint64
+	solo.Enqueue(0, isa.NewLoopStream(nops, 300), func(s, e uint64) { soloTime = e - s })
+	solo.RunUntilIdle(10_000_000)
+
+	shared := NewCore(Gold6226(), 1)
+	shared.Enqueue(1, isa.NewLoopStream(isa.MixChain(9, 9, true), 20000), nil)
+	var sharedTime uint64
+	shared.Enqueue(0, isa.NewLoopStream(nops, 300), func(s, e uint64) { sharedTime = e - s })
+	shared.RunUntilIdle(50_000_000)
+
+	if sharedTime < soloTime*5/4 {
+		t.Errorf("SMT sharing too cheap: solo=%d shared=%d", soloTime, sharedTime)
+	}
+}
+
+func TestRunTimedAddsNoise(t *testing.T) {
+	c := NewCore(Gold6226(), 9)
+	a := c.RunTimed(0, isa.NewLoopStream(isa.MixChain(3, 4, true), 10))
+	b := c.RunTimed(0, isa.NewLoopStream(isa.MixChain(3, 4, true), 10))
+	if a == b {
+		t.Error("two measurements identical; TSC noise missing")
+	}
+}
+
+func TestPowerAccrues(t *testing.T) {
+	c := NewCore(Gold6226(), 1)
+	c.RunTimed(0, isa.NewLoopStream(isa.MixChain(3, 4, true), 50))
+	if c.PM.TrueEnergy() <= 0 {
+		t.Error("no energy accrued")
+	}
+	if c.PM.Cycles() != c.Cycle() {
+		t.Errorf("power cycles %d != core cycles %d", c.PM.Cycles(), c.Cycle())
+	}
+}
+
+func TestIPCSnapshot(t *testing.T) {
+	c := NewCore(Gold6226(), 1)
+	c.Enqueue(0, isa.NewLoopStream(isa.MixChain(3, 8, true), 500), nil)
+	c.RunCycles(200) // warmup
+	w := c.Snapshot(0)
+	c.RunCycles(2000)
+	ipc := c.IPCSince(0, w)
+	if ipc <= 0.5 || ipc > 4 {
+		t.Errorf("steady-state mix-chain IPC = %v, expected in (0.5, 4]", ipc)
+	}
+}
+
+func TestLoadsTouchL1D(t *testing.T) {
+	c := NewCore(Gold6226(), 1)
+	b := isa.LoadBlock(0x6000, []uint64{0x100000, 0x100040})
+	b.SetTarget(0) // fallthrough exit
+	last := &b.Insts[len(b.Insts)-1]
+	last.Taken = false
+	c.Enqueue(0, isa.NewSeqStream(b.Insts), nil)
+	c.RunUntilIdle(100_000)
+	if c.L1D.Stats().Accesses() != 2 {
+		t.Errorf("L1D accesses = %d, want 2", c.L1D.Stats().Accesses())
+	}
+}

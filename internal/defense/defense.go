@@ -1,0 +1,119 @@
+// Package defense implements the countermeasures the paper discusses in
+// Section XII as *ablations*: each defense is applied to the simulated
+// frontend and the corresponding attack is re-run, demonstrating both
+// that the defense closes the channel and what it costs. The paper's
+// core observation — that the frontend's timing signatures exist
+// *because* the multiple paths exist — shows up directly: the only
+// defense that closes the single-threaded channels is equalizing the
+// paths, which forfeits the DSB's speedup.
+package defense
+
+import (
+	"repro/internal/attack"
+	"repro/internal/channel"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/spectre"
+)
+
+// DisableSMT returns the model with hyper-threading off: the system-level
+// defense that eliminates every MT attack ("the SMT can always be
+// disabled for security-critical applications", Section XII).
+func DisableSMT(m cpu.Model) cpu.Model {
+	m.HyperThreading = false
+	m.Threads = m.Cores
+	return m
+}
+
+// EqualizePaths returns the model with every frontend path forced to the
+// same effective timing. MITE's fetch/decode latency is physical, so the
+// only way to equalize is to slow the DSB and LSD *down* to MITE's pace
+// and drop the differential penalties — the Section XII observation that
+// removing the timing signatures "would reduce the performance or power
+// benefits ... which defeats the purpose of having different paths".
+func EqualizePaths(m cpu.Model) cpu.Model {
+	fe := m.FE
+	// 5-uop mix blocks: MITE needs 2 fetch groups; throttle DSB/LSD
+	// delivery to the same 2 cycles per block.
+	fe.DeliverWidth = 3
+	fe.LSDJumpBubble = 0
+	fe.MITERedirectBubble = 0
+	fe.SwitchPenalty = 0
+	fe.SwitchResidual = 0
+	fe.LCPStallIsolated = 0
+	fe.LCPStallChained = 0
+	fe.DSBCrossPenalty = 0
+	m.FE = fe
+	// Equal paths also implies equal power draw.
+	m.PW.EnergyMITEUOp = m.PW.EnergyDSBUOp
+	m.PW.EnergyLSDUOp = m.PW.EnergyDSBUOp
+	return m
+}
+
+// DisableRAPL returns the model with the RAPL update interval pushed
+// beyond any attack window, modelling Intel's mitigation of removing
+// unprivileged energy-counter access (Section XII).
+func DisableRAPL(m cpu.Model) cpu.Model {
+	m.PW.RAPLIntervalCycles = 1 << 62
+	return m
+}
+
+// ChannelErrorRate transmits an alternating message over ch and returns
+// the residual error rate — ~0.5 means the channel is dead.
+func ChannelErrorRate(ch channel.BitChannel, bits int) float64 {
+	return channel.Transmit(ch, "defense", channel.Alternating(bits), 30).ErrorRate
+}
+
+// NonMTResidualError re-runs the stealthy eviction channel — the variant
+// whose bits execute the *same instruction count* and differ only in
+// which frontend path serves them — against a defended model. (The
+// "fast" variants leak through execution length and survive any
+// path-timing defense, which is exactly the paper's point that code must
+// also be written constant-work; see Section XII.)
+func NonMTResidualError(m cpu.Model, bits int, seed uint64) float64 {
+	cfg := attack.DefaultNonMT(m, attack.Eviction, true)
+	cfg.Seed = seed
+	return ChannelErrorRate(attack.NewNonMT(cfg), bits)
+}
+
+// PowerResidualError re-runs the power eviction channel against a
+// defended model (reduced iterations keep the ablation fast).
+func PowerResidualError(m cpu.Model, bits int, seed uint64) float64 {
+	cfg := attack.DefaultPower(m, attack.Eviction)
+	cfg.Iters = 4000
+	cfg.Seed = seed
+	return ChannelErrorRate(attack.NewPower(cfg), bits)
+}
+
+// SpectreBufferedDSB evaluates the Section XII Spectre defense
+// ("buffering cache updates could be applied to the DSB"): the transient
+// gadget's decoded window is not installed architecturally, so the
+// frontend channel sees nothing. It returns the attack accuracy with the
+// defense on.
+func SpectreBufferedDSB(seed uint64) float64 {
+	cfg := spectre.DefaultConfig(spectre.Frontend)
+	cfg.Seed = seed
+	lab := spectre.NewLab(cfg)
+	lab.BufferTransientFills(true)
+	return lab.Leak([]byte{3, 17, 29, 8}).Accuracy
+}
+
+// PerformanceCost measures the throughput price of a defended frontend:
+// cycles per mix-block pass on the defended model divided by the
+// baseline's. EqualizePaths trades exactly the DSB/LSD win away.
+func PerformanceCost(base, defended cpu.Model, seed uint64) float64 {
+	measure := func(m cpu.Model) float64 {
+		core := cpu.NewCore(m, seed)
+		// A DSB-friendly straight-line loop: the workload class the fast
+		// paths exist to accelerate.
+		blocks := []*isa.Block{isa.NopBlockLen(0x0060_0000, 100, 2)}
+		isa.ChainLoop(blocks)
+		core.Enqueue(0, isa.NewLoopStream(blocks, 50), nil)
+		core.RunUntilIdle(10_000_000)
+		start := core.Cycle()
+		core.Enqueue(0, isa.NewLoopStream(blocks, 500), nil)
+		core.RunUntilIdle(50_000_000)
+		return float64(core.Cycle() - start)
+	}
+	return measure(defended) / measure(base)
+}

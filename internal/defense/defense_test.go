@@ -1,0 +1,79 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cpu"
+	"repro/internal/spectre"
+)
+
+func TestDisableSMTKillsMTAttacks(t *testing.T) {
+	m := DisableSMT(cpu.Gold6226())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MT attack construction must fail without SMT")
+		}
+	}()
+	attack.NewMT(attack.DefaultMT(m, attack.Eviction))
+}
+
+func TestEqualizedPathsKillNonMTChannel(t *testing.T) {
+	base := cpu.XeonE2288G() // cleanest machine: strongest channel
+	baseErr := NonMTResidualError(base, 100, 1)
+	defErr := NonMTResidualError(EqualizePaths(base), 100, 1)
+	t.Logf("stealthy eviction error: baseline %.2f, equalized paths %.2f", baseErr, defErr)
+	if baseErr > 0.1 {
+		t.Fatalf("baseline channel broken (%.2f)", baseErr)
+	}
+	if defErr < 0.25 {
+		t.Errorf("equalized paths left error at %.2f; channel should approach coin-flip", defErr)
+	}
+}
+
+func TestEqualizedPathsCostPerformance(t *testing.T) {
+	// Section XII: removing the timing signatures "would reduce the
+	// performance ... benefits". The defended frontend must be slower on
+	// DSB/LSD-friendly code.
+	cost := PerformanceCost(cpu.Gold6226(), EqualizePaths(cpu.Gold6226()), 1)
+	t.Logf("equalized-path slowdown on mix-chain loop: %.2fx", cost)
+	if cost < 1.05 {
+		t.Errorf("defense cost %.2fx: equalizing paths should not be free", cost)
+	}
+}
+
+func TestDisableRAPLKillsPowerChannel(t *testing.T) {
+	m := cpu.Gold6226()
+	defErr := PowerResidualError(DisableRAPL(m), 16, 1)
+	t.Logf("power channel error with RAPL disabled: %.2f", defErr)
+	if defErr < 0.3 {
+		t.Errorf("power channel still decodes (%.2f) without RAPL updates", defErr)
+	}
+}
+
+func TestBufferedDSBKillsSpectreFrontend(t *testing.T) {
+	// Baseline accuracy is high; with buffered speculative fills the
+	// frontend channel collapses to guessing (1/32 per chunk).
+	base := spectre.NewLab(spectre.DefaultConfig(spectre.Frontend)).Leak([]byte{3, 17, 29, 8})
+	if base.Accuracy < 0.75 {
+		t.Fatalf("baseline Spectre accuracy %.2f too low to ablate", base.Accuracy)
+	}
+	acc := SpectreBufferedDSB(1)
+	t.Logf("Spectre frontend accuracy: baseline %.2f, buffered-DSB %.2f", base.Accuracy, acc)
+	if acc > 0.3 {
+		t.Errorf("buffered-DSB defense left accuracy at %.2f", acc)
+	}
+}
+
+func TestDefendedModelsStillRun(t *testing.T) {
+	// Defenses must not break functional execution.
+	for _, m := range []cpu.Model{
+		DisableSMT(cpu.Gold6226()),
+		EqualizePaths(cpu.Gold6226()),
+		DisableRAPL(cpu.Gold6226()),
+	} {
+		if cost := PerformanceCost(cpu.Gold6226(), m, 2); cost <= 0 {
+			t.Errorf("%s: defended model did not execute", m.Name)
+		}
+	}
+}

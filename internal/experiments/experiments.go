@@ -1,0 +1,466 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: each exported function reproduces one artifact and returns
+// both structured data and a formatted table matching the paper's layout.
+// The cmd/leakyfe binary and the repository's benchmark suite are thin
+// wrappers around this package; EXPERIMENTS.md records paper-vs-measured
+// for each entry.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/channel"
+	"repro/internal/cpu"
+	"repro/internal/fingerprint"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/sgx"
+	"repro/internal/spectre"
+	"repro/internal/stats"
+	"repro/internal/ucode"
+	"repro/internal/victim"
+)
+
+// Opts sets the experiment scale. Defaults reproduce the paper's shapes
+// in seconds; raise Bits for tighter error-rate estimates.
+type Opts struct {
+	Bits int    // covert-channel message length
+	Seed uint64 // deterministic seed
+}
+
+// DefaultOpts returns the standard scale.
+func DefaultOpts() Opts { return Opts{Bits: 200, Seed: 1} }
+
+func (o Opts) orDefault() Opts {
+	if o.Bits <= 0 {
+		o.Bits = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// TableI renders the CPU model catalog (Table I).
+func TableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: Specifications of the tested Intel CPU models\n")
+	fmt.Fprintf(&b, "%-14s %-13s %6s %8s %6s %5s %5s %4s\n",
+		"Model", "Microarch", "Cores", "Threads", "GHz", "LSD", "SGX", "HT")
+	for _, m := range cpu.Models() {
+		lsd := "64"
+		if !m.LSDEnabled {
+			lsd = "off"
+		}
+		fmt.Fprintf(&b, "%-14s %-13s %6d %8d %6.1f %5s %5v %4v\n",
+			m.Name, m.Microarch, m.Cores, m.Threads, m.FreqGHz, lsd, m.SGX, m.HyperThreading)
+	}
+	return b.String()
+}
+
+// Figure2Data holds per-path timing samples for the histogram.
+type Figure2Data struct {
+	LSD, DSB, MITE []float64
+}
+
+// Figure2 reproduces the per-path timing histogram (Figure 2) on the
+// Gold 6226: per-pass timings of an 8-block chain streaming from the
+// LSD, the same chain with the LSD disabled (DSB), and a 9-block
+// same-set chain that thrashes into MITE+DSB.
+func Figure2(o Opts) (Figure2Data, string) {
+	o = o.orDefault()
+	const passes = 400
+	run := func(model cpu.Model, blocks []*isa.Block) []float64 {
+		core := cpu.NewCore(model, o.Seed)
+		core.Enqueue(0, isa.NewLoopStream(blocks, 10), nil) // warmup
+		core.RunUntilIdle(10_000_000)
+		out := make([]float64, passes)
+		for i := range out {
+			out[i] = core.RunTimedTight(0, isa.NewLoopStream(blocks, 8))
+		}
+		return out
+	}
+	g := cpu.Gold6226()
+	d := Figure2Data{
+		LSD:  run(g, isa.MixChain(3, 8, true)),
+		DSB:  run(g.WithLSD(false), isa.MixChain(3, 8, true)),
+		MITE: run(g, isa.MixChain(3, 9, true)),
+	}
+	lo := stats.Min(d.DSB) - 20
+	hi := stats.Max(d.MITE) + 20
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: frontend path timing histogram (Gold 6226, cycles per 8 chain passes)\n")
+	for _, row := range []struct {
+		name string
+		xs   []float64
+	}{{"DSB", d.DSB}, {"LSD", d.LSD}, {"MITE+DSB", d.MITE}} {
+		h := stats.NewHistogram(lo, hi, 30)
+		for _, x := range row.xs {
+			h.Add(x)
+		}
+		fmt.Fprintf(&b, "\n%s delivery (mean %.0f):\n%s", row.name, stats.Mean(row.xs), h.Render(40))
+	}
+	return d, b.String()
+}
+
+// Figure4Row holds one issue pattern's counters, extrapolated to the
+// paper's 800M loop iterations.
+type Figure4Row struct {
+	Pattern       string
+	MITEUOps      float64
+	DSBUOps       float64
+	LCPStallCyc   float64
+	SwitchPenalty float64
+	IPC           float64
+}
+
+// Figure4 reproduces the mixed- vs ordered-issue LCP experiment
+// (Figure 4) by simulating a steady-state window and scaling the
+// counters to 800M iterations.
+func Figure4(o Opts) ([2]Figure4Row, string) {
+	o = o.orDefault()
+	const simIters = 3000
+	const paperIters = 800e6
+	run := func(mixed bool, name string) Figure4Row {
+		core := cpu.NewCore(cpu.Gold6226(), o.Seed)
+		blocks := []*isa.Block{isa.LCPBlock(0x2000, 16, mixed)}
+		isa.ChainLoop(blocks)
+		core.Enqueue(0, isa.NewLoopStream(blocks, 200), nil) // warmup
+		core.RunUntilIdle(10_000_000)
+		c0 := core.Counters(0)
+		cyc0 := core.Cycle()
+		core.Enqueue(0, isa.NewLoopStream(blocks, simIters), nil)
+		core.RunUntilIdle(100_000_000)
+		d := core.Counters(0).Sub(c0)
+		cycles := float64(core.Cycle() - cyc0)
+		scale := paperIters / simIters
+		return Figure4Row{
+			Pattern:       name,
+			MITEUOps:      float64(d.UOpsMITE) * scale,
+			DSBUOps:       float64(d.UOpsDSB) * scale,
+			LCPStallCyc:   d.LCPStallCycles * scale,
+			SwitchPenalty: d.SwitchCycles * scale,
+			IPC:           float64(d.UOps()) / cycles,
+		}
+	}
+	rows := [2]Figure4Row{run(true, "Mixed Issue"), run(false, "Ordered Issue")}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: LCP issue patterns, counters scaled to 800M iterations (Gold 6226)\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %14s %14s %6s\n", "Pattern", "MITE uops", "DSB uops", "LCP stall cyc", "switch cyc", "IPC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12.2e %12.2e %14.2e %14.2e %6.2f\n",
+			r.Pattern, r.MITEUOps, r.DSBUOps, r.LCPStallCyc, r.SwitchPenalty, r.IPC)
+	}
+	return rows, b.String()
+}
+
+// TableII reproduces the message-pattern study (Table II): the MT
+// eviction channel at d=1 for all-0s, all-1s, alternating, and random
+// messages on the three hyper-threaded machines.
+func TableII(o Opts) ([]channel.Result, string) {
+	o = o.orDefault()
+	models := []cpu.Model{cpu.Gold6226(), cpu.XeonE2174G(), cpu.XeonE2286G()}
+	patterns := []struct {
+		name string
+		gen  func(int) string
+	}{
+		{"All 0s", channel.AllZeros},
+		{"All 1s", channel.AllOnes},
+		{"Alternating", channel.Alternating},
+		{"Random", func(n int) string { return channel.Random(n, rng.New(o.Seed)) }},
+	}
+	var results []channel.Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: MT Eviction-Based channel, d=1, by message pattern\n")
+	fmt.Fprintf(&b, "%-12s %-14s %12s %10s\n", "Pattern", "Model", "Rate (Kbps)", "Error")
+	for _, p := range patterns {
+		for _, m := range models {
+			cfg := attack.DefaultMT(m, attack.Eviction)
+			cfg.D = 1
+			// A single-way receiver needs the contended-sender protocol:
+			// the eviction signal of one way is too small on its own.
+			cfg.ContendedSender = true
+			cfg.Seed = o.Seed
+			ch := attack.NewMT(cfg)
+			res := channel.Transmit(ch, m.Name, p.gen(o.Bits), 30)
+			res.Channel = p.name
+			results = append(results, res)
+			fmt.Fprintf(&b, "%-12s %-14s %12.2f %9.2f%%\n", p.name, m.Name, res.RateKbps, 100*res.ErrorRate)
+		}
+	}
+	return results, b.String()
+}
+
+// TableIII reproduces the main covert-channel matrix (Table III): all
+// eviction- and misalignment-based channels on all four machines.
+func TableIII(o Opts) ([]channel.Result, string) {
+	o = o.orDefault()
+	msg := channel.Alternating(o.Bits)
+	var results []channel.Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: covert-channel transmission and error rates (alternating message)\n")
+	fmt.Fprintf(&b, "%-40s %-14s %12s %10s\n", "Channel", "Model", "Rate (Kbps)", "Error")
+	emit := func(res channel.Result) {
+		results = append(results, res)
+		fmt.Fprintf(&b, "%-40s %-14s %12.2f %9.2f%%\n", res.Channel, res.Model, res.RateKbps, 100*res.ErrorRate)
+	}
+	for _, kind := range []attack.Kind{attack.Eviction, attack.Misalignment} {
+		for _, stealthy := range []bool{true, false} {
+			for _, m := range cpu.Models() {
+				cfg := attack.DefaultNonMT(m, kind, stealthy)
+				cfg.Seed = o.Seed
+				emit(channel.Transmit(attack.NewNonMT(cfg), m.Name, msg, 40))
+			}
+		}
+		for _, m := range cpu.Models() {
+			if !m.HyperThreading {
+				continue
+			}
+			cfg := attack.DefaultMT(m, kind)
+			cfg.Seed = o.Seed
+			emit(channel.Transmit(attack.NewMT(cfg), m.Name, msg, 40))
+		}
+	}
+	return results, b.String()
+}
+
+// TableIV reproduces the slow-switch channel rows (Table IV).
+func TableIV(o Opts) ([]channel.Result, string) {
+	o = o.orDefault()
+	msg := channel.Alternating(o.Bits)
+	var results []channel.Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IV: Non-MT Slow-Switch-Based channel (alternating message)\n")
+	fmt.Fprintf(&b, "%-14s %12s %10s\n", "Model", "Rate (Kbps)", "Error")
+	for _, m := range []cpu.Model{cpu.Gold6226(), cpu.XeonE2288G()} {
+		cfg := attack.DefaultSlowSwitch(m)
+		cfg.Seed = o.Seed
+		res := channel.Transmit(attack.NewSlowSwitch(cfg), m.Name, msg, 40)
+		results = append(results, res)
+		fmt.Fprintf(&b, "%-14s %12.2f %9.2f%%\n", m.Name, res.RateKbps, 100*res.ErrorRate)
+	}
+	return results, b.String()
+}
+
+// TableV reproduces the power channels (Table V) on the Gold 6226. Bits
+// default lower because each power bit needs >100k iterations.
+func TableV(o Opts) ([]channel.Result, string) {
+	o = o.orDefault()
+	bits := o.Bits / 12
+	if bits < 8 {
+		bits = 8
+	}
+	msg := channel.Alternating(bits)
+	var results []channel.Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table V: Non-MT power channels, Gold 6226, d=6 (RAPL receiver)\n")
+	fmt.Fprintf(&b, "%-26s %12s %10s\n", "Channel", "Rate (Kbps)", "Error")
+	for _, kind := range []attack.Kind{attack.Eviction, attack.Misalignment} {
+		cfg := attack.DefaultPower(cpu.Gold6226(), kind)
+		cfg.Seed = o.Seed
+		res := channel.Transmit(attack.NewPower(cfg), "Gold 6226", msg, 6)
+		results = append(results, res)
+		fmt.Fprintf(&b, "%-26s %12.2f %9.2f%%\n", res.Channel, res.RateKbps, 100*res.ErrorRate)
+	}
+	return results, b.String()
+}
+
+// TableVI reproduces the SGX channel matrix (Table VI) on the three
+// SGX-capable machines.
+func TableVI(o Opts) ([]channel.Result, string) {
+	o = o.orDefault()
+	bits := o.Bits / 4
+	if bits < 12 {
+		bits = 12
+	}
+	msg := channel.Alternating(bits)
+	models := []cpu.Model{cpu.XeonE2174G(), cpu.XeonE2286G(), cpu.XeonE2288G()}
+	var results []channel.Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI: SGX covert channels (alternating message)\n")
+	fmt.Fprintf(&b, "%-40s %-14s %12s %10s\n", "Channel", "Model", "Rate (Kbps)", "Error")
+	emit := func(res channel.Result) {
+		results = append(results, res)
+		fmt.Fprintf(&b, "%-40s %-14s %12.2f %9.2f%%\n", res.Channel, res.Model, res.RateKbps, 100*res.ErrorRate)
+	}
+	for _, kind := range []attack.Kind{attack.Eviction, attack.Misalignment} {
+		for _, stealthy := range []bool{true, false} {
+			for _, m := range models {
+				cfg := attack.DefaultNonMT(m, kind, stealthy)
+				cfg.Seed = o.Seed
+				emit(channel.Transmit(sgx.NewNonMT(cfg), m.Name, msg, 10))
+			}
+		}
+		for _, m := range models {
+			if !m.HyperThreading {
+				continue
+			}
+			cfg := attack.DefaultMT(m, kind)
+			cfg.Seed = o.Seed
+			emit(channel.Transmit(sgx.NewMT(cfg), m.Name, msg, 8))
+		}
+	}
+	return results, b.String()
+}
+
+// TableVII reproduces the Spectre v1 L1 miss-rate comparison (Table VII).
+func TableVII(o Opts) ([]spectre.Result, string) {
+	o = o.orDefault()
+	secret := []byte{3, 17, 29, 8, 0, 31, 12, 22}
+	channels := []spectre.Channel{
+		spectre.MemFlushReload, spectre.L1DFlushReload, spectre.L1DLRU,
+		spectre.L1IFlushReload, spectre.L1IPrimeProbe, spectre.Frontend,
+	}
+	var results []spectre.Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VII: Spectre v1 covert channels, L1 miss rates (Gold 6226)\n")
+	fmt.Fprintf(&b, "%-10s %14s %10s\n", "Channel", "L1 miss rate", "Accuracy")
+	for _, ch := range channels {
+		cfg := spectre.DefaultConfig(ch)
+		cfg.Seed = o.Seed
+		res := spectre.NewLab(cfg).Leak(secret)
+		results = append(results, res)
+		fmt.Fprintf(&b, "%-10v %13.2f%% %9.0f%%\n", ch, 100*res.L1MissRate, 100*res.Accuracy)
+	}
+	return results, b.String()
+}
+
+// Figure8Point is one d-sweep sample.
+type Figure8Point struct {
+	Model     string
+	D         int
+	RateKbps  float64
+	ErrorRate float64
+	Effective float64 // rate x (1 - error)
+}
+
+// Figure8 reproduces the MT eviction d-sweep (Figure 8) on the three
+// hyper-threaded machines.
+func Figure8(o Opts) ([]Figure8Point, string) {
+	o = o.orDefault()
+	bits := o.Bits / 2
+	if bits < 40 {
+		bits = 40
+	}
+	msg := channel.Alternating(bits)
+	var pts []Figure8Point
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: MT Eviction-Based channel vs receiver way count d\n")
+	fmt.Fprintf(&b, "%-14s %3s %12s %10s %12s\n", "Model", "d", "Rate (Kbps)", "Error", "Effective")
+	for _, m := range []cpu.Model{cpu.Gold6226(), cpu.XeonE2174G(), cpu.XeonE2286G()} {
+		for d := 1; d <= 8; d++ {
+			cfg := attack.DefaultMT(m, attack.Eviction)
+			cfg.D = d
+			cfg.Seed = o.Seed
+			res := channel.Transmit(attack.NewMT(cfg), m.Name, msg, 30)
+			p := Figure8Point{Model: m.Name, D: d, RateKbps: res.RateKbps,
+				ErrorRate: res.ErrorRate, Effective: res.RateKbps * (1 - res.ErrorRate)}
+			pts = append(pts, p)
+			fmt.Fprintf(&b, "%-14s %3d %12.2f %9.2f%% %12.2f\n", p.Model, d, p.RateKbps, 100*p.ErrorRate, p.Effective)
+		}
+	}
+	return pts, b.String()
+}
+
+// Figure9Data holds per-path power samples.
+type Figure9Data struct {
+	LSD, DSB, MITE []float64
+}
+
+// Figure9 reproduces the per-path power histogram (Figure 9).
+func Figure9(o Opts) (Figure9Data, string) {
+	o = o.orDefault()
+	const windows = 300
+	run := func(model cpu.Model, blocks []*isa.Block) []float64 {
+		core := cpu.NewCore(model, o.Seed)
+		r := rng.New(o.Seed).Fork(11)
+		core.Enqueue(0, isa.NewLoopStream(blocks, 20), nil)
+		core.RunUntilIdle(10_000_000)
+		out := make([]float64, 0, windows)
+		for i := 0; i < windows; i++ {
+			e0, c0 := core.PM.TrueEnergy(), core.Cycle()
+			core.Enqueue(0, isa.NewLoopStream(blocks, 60), nil)
+			core.RunUntilIdle(10_000_000)
+			w := power.AvgWatts(core.PM.TrueEnergy()-e0, core.Cycle()-c0)
+			out = append(out, w+r.NormScaled(0, 0.6))
+		}
+		return out
+	}
+	g := cpu.Gold6226()
+	d := Figure9Data{
+		LSD:  run(g, isa.MixChain(3, 8, true)),
+		DSB:  run(g.WithLSD(false), isa.MixChain(3, 8, true)),
+		MITE: run(g, isa.MixChain(3, 9, true)),
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: package power by frontend path (Gold 6226)\n")
+	for _, row := range []struct {
+		name string
+		xs   []float64
+	}{{"LSD", d.LSD}, {"DSB", d.DSB}, {"MITE+DSB", d.MITE}} {
+		h := stats.NewHistogram(44, 70, 26)
+		for _, x := range row.xs {
+			h.Add(x)
+		}
+		fmt.Fprintf(&b, "\n%s delivery (mean %.1f W):\n%s", row.name, stats.Mean(row.xs), h.Render(40))
+	}
+	return d, b.String()
+}
+
+// Figure10 reproduces the microcode patch fingerprinting measurements.
+func Figure10(o Opts) ([2]ucode.Observation, string) {
+	o = o.orDefault()
+	obs := [2]ucode.Observation{
+		ucode.Observe(cpu.Gold6226(), ucode.Patch1, o.Seed),
+		ucode.Observe(cpu.Gold6226(), ucode.Patch2, o.Seed),
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: microcode patch fingerprinting (Gold 6226)\n")
+	fmt.Fprintf(&b, "%-38s %14s %14s %10s %10s\n", "Patch", "small cyc/blk", "large cyc/blk", "small W", "large W")
+	for _, ob := range obs {
+		fmt.Fprintf(&b, "%-38s %14.2f %14.2f %10.1f %10.1f\n",
+			ob.Patch, ob.SmallLoopCycles, ob.LargeLoopCycles, ob.SmallLoopWatts, ob.LargeLoopWatts)
+	}
+	t1 := ucode.DetectByTiming(cpu.Gold6226(), ucode.Patch1, o.Seed)
+	t2 := ucode.DetectByTiming(cpu.Gold6226(), ucode.Patch2, o.Seed)
+	fmt.Fprintf(&b, "timing detector: patch1 -> %v, patch2 -> %v\n", t1, t2)
+	return obs, b.String()
+}
+
+// Figure11 reproduces the attacker IPC traces against the four CNN
+// victims.
+func Figure11(o Opts) (map[string][]float64, string) {
+	o = o.orDefault()
+	cfg := fingerprint.DefaultConfig(cpu.Gold6226())
+	cfg.Seed = o.Seed
+	base := fingerprint.BaselineIPC(cfg)
+	traces := map[string][]float64{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: attacker IPC traces per CNN victim (baseline solo IPC %.2f)\n", base)
+	for _, w := range victim.CNNs() {
+		tr := fingerprint.Trace(cfg, w)
+		traces[w.Name] = tr
+		fmt.Fprintf(&b, "%-12s mean=%.2f min=%.2f max=%.2f stddev=%.3f\n",
+			w.Name, stats.Mean(tr), stats.Min(tr), stats.Max(tr), stats.StdDev(tr))
+	}
+	return traces, b.String()
+}
+
+// Figure12 reproduces the inter/intra distance study for the CNNs plus
+// the Geekbench suite statistic of Section XI-B.
+func Figure12(o Opts) (cnn, gb fingerprint.Distances, rendered string) {
+	o = o.orDefault()
+	cfg := fingerprint.DefaultConfig(cpu.Gold6226())
+	cfg.Seed = o.Seed
+	cnn = fingerprint.Study(cfg, victim.CNNs())
+	gb = fingerprint.Study(cfg, victim.Geekbench())
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12 / Section XI-B: fingerprinting distances\n\n")
+	fmt.Fprintf(&b, "CNN distance matrix:\n%s\n", cnn.Matrix)
+	fmt.Fprintf(&b, "CNN:       intra=%.3f  inter=%.3f\n", cnn.Intra, cnn.Inter)
+	fmt.Fprintf(&b, "Geekbench: intra=%.3f  inter=%.3f\n", gb.Intra, gb.Inter)
+	return cnn, gb, b.String()
+}

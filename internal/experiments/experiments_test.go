@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func small() Opts { return Opts{Bits: 60, Seed: 1} }
+
+func TestTableI(t *testing.T) {
+	s := TableI()
+	for _, want := range []string{"Gold 6226", "Xeon E-2174G", "Xeon E-2286G", "Xeon E-2288G", "Cascade Lake"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestFigure2Ordering(t *testing.T) {
+	d, s := Figure2(small())
+	if !strings.Contains(s, "MITE+DSB") {
+		t.Error("rendering incomplete")
+	}
+	if !(stats.Mean(d.DSB) < stats.Mean(d.LSD) && stats.Mean(d.LSD) < stats.Mean(d.MITE)) {
+		t.Errorf("path ordering violated: DSB=%.0f LSD=%.0f MITE=%.0f",
+			stats.Mean(d.DSB), stats.Mean(d.LSD), stats.Mean(d.MITE))
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	rows, _ := Figure4(small())
+	mixed, ordered := rows[0], rows[1]
+	if mixed.IPC <= ordered.IPC {
+		t.Errorf("mixed IPC %.2f should exceed ordered %.2f", mixed.IPC, ordered.IPC)
+	}
+	if ordered.LCPStallCyc <= mixed.LCPStallCyc {
+		t.Error("ordered issue should accumulate more LCP stall cycles")
+	}
+	if mixed.SwitchPenalty <= ordered.SwitchPenalty*10 {
+		t.Errorf("mixed switch penalty (%.2e) should dwarf ordered (%.2e)",
+			mixed.SwitchPenalty, ordered.SwitchPenalty)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	res, _ := TableII(small())
+	if len(res) != 12 {
+		t.Fatalf("got %d rows, want 12", len(res))
+	}
+	// Constant patterns decode better than random.
+	var constErr, randErr float64
+	for _, r := range res {
+		switch r.Channel {
+		case "All 0s", "All 1s":
+			constErr += r.ErrorRate
+		case "Random":
+			randErr += r.ErrorRate
+		}
+	}
+	if constErr/6 >= randErr/3+0.01 {
+		t.Errorf("constant-pattern error (%.3f) should be below random (%.3f)", constErr/6, randErr/3)
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	res, _ := TableIII(small())
+	// 4 models x 2 kinds x 2 variants non-MT + 3 models x 2 kinds MT.
+	if len(res) != 22 {
+		t.Fatalf("got %d rows, want 22", len(res))
+	}
+	var nonMTMin, mtMax float64 = 1e18, 0
+	for _, r := range res {
+		if strings.HasPrefix(r.Channel, "Non-MT") {
+			if r.RateKbps < nonMTMin {
+				nonMTMin = r.RateKbps
+			}
+		} else if r.RateKbps > mtMax {
+			mtMax = r.RateKbps
+		}
+	}
+	if nonMTMin <= mtMax {
+		t.Errorf("every non-MT rate (min %.0f) should beat every MT rate (max %.0f)", nonMTMin, mtMax)
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	res, _ := TableIV(small())
+	if len(res) != 2 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	if res[1].RateKbps <= res[0].RateKbps {
+		t.Error("E-2288G slow-switch should beat Gold 6226 (Table IV)")
+	}
+}
+
+func TestTableVIIShape(t *testing.T) {
+	res, _ := TableVII(small())
+	rates := map[string]float64{}
+	for _, r := range res {
+		rates[r.Channel.String()] = r.L1MissRate
+	}
+	if !(rates["Frontend"] < rates["L1I F+R"] && rates["L1I F+R"] < rates["MEM F+R"] &&
+		rates["MEM F+R"] < rates["L1D F+R"]) {
+		t.Errorf("Table VII ordering violated: %v", rates)
+	}
+}
+
+func TestFigure8RateRisesWithD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	pts, _ := Figure8(Opts{Bits: 60, Seed: 1})
+	// For each model, rate at d=8 should exceed rate at d=1.
+	byModel := map[string]map[int]Figure8Point{}
+	for _, p := range pts {
+		if byModel[p.Model] == nil {
+			byModel[p.Model] = map[int]Figure8Point{}
+		}
+		byModel[p.Model][p.D] = p
+	}
+	for m, mp := range byModel {
+		if mp[8].RateKbps <= mp[1].RateKbps {
+			t.Errorf("%s: rate(d=8)=%.0f should exceed rate(d=1)=%.0f", m, mp[8].RateKbps, mp[1].RateKbps)
+		}
+	}
+}
+
+func TestFigure9Ordering(t *testing.T) {
+	d, _ := Figure9(small())
+	if !(stats.Mean(d.LSD) < stats.Mean(d.DSB) && stats.Mean(d.DSB) < stats.Mean(d.MITE)) {
+		t.Errorf("power ordering violated: LSD=%.1f DSB=%.1f MITE=%.1f",
+			stats.Mean(d.LSD), stats.Mean(d.DSB), stats.Mean(d.MITE))
+	}
+}
+
+func TestFigure10Detects(t *testing.T) {
+	obs, s := Figure10(small())
+	if obs[0].Ratio() <= obs[1].Ratio() {
+		t.Error("patch1 timing ratio should exceed patch2's")
+	}
+	if !strings.Contains(s, "patch1 -> patch1") || !strings.Contains(s, "patch2 -> patch2") {
+		t.Errorf("detector output wrong:\n%s", s)
+	}
+}
+
+func TestFigure11Traces(t *testing.T) {
+	traces, _ := Figure11(small())
+	if len(traces) != 4 {
+		t.Fatalf("want 4 CNN traces")
+	}
+	for name, tr := range traces {
+		if len(tr) != 100 {
+			t.Errorf("%s trace length %d", name, len(tr))
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package fingerprint implements the paper's frontend side channel for
+// application fingerprinting (Section XI): an attacker thread loops over
+// 100 nop instructions — too many micro-ops for the LSD, resident in the
+// DSB, two-ish cache lines of code — and samples its own IPC at a low 10
+// Hz rate. A victim on the sibling hardware thread modulates the shared
+// frontend (especially MITE, which is not partitioned), and the
+// attacker's IPC waveform identifies which workload is running.
+//
+// Traces are compared by Euclidean distance; a workload is recognized
+// when its intra-workload distance is far below the inter-workload
+// distances (Figures 11 and 12).
+package fingerprint
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/victim"
+)
+
+// Config parameterizes a fingerprinting run.
+type Config struct {
+	Model cpu.Model
+	// SamplePeriod is the low-resolution timer period in cycles. The
+	// paper samples at 10 Hz wall time; simulated time is compressed so
+	// a sample covers a representative execution window.
+	SamplePeriod uint64
+	// Samples is the trace length (100 in Figure 11).
+	Samples int
+	Seed    uint64
+}
+
+// DefaultConfig returns the evaluation setting.
+func DefaultConfig(m cpu.Model) Config {
+	return Config{Model: m, SamplePeriod: 30_000, Samples: 100, Seed: 1}
+}
+
+// attackerLoop builds the 100-nop receiver loop (2-byte nops: 101
+// micro-ops — above the 64-entry LSD, inside the DSB).
+func attackerLoop() []*isa.Block {
+	blocks := []*isa.Block{isa.NopBlockLen(0x0070_0000, 100, 2)}
+	isa.ChainLoop(blocks)
+	return blocks
+}
+
+// Trace runs the attacker alongside the victim workload and returns the
+// attacker's IPC samples.
+func Trace(cfg Config, w victim.Workload) []float64 {
+	if !cfg.Model.HyperThreading {
+		panic("fingerprint: side channel needs a co-resident SMT victim")
+	}
+	core := cpu.NewCore(cfg.Model, cfg.Seed)
+	r := rng.New(cfg.Seed).Fork(3)
+
+	// The attacker's loop: queue enough iterations to outlast the trace.
+	loop := attackerLoop()
+	totalCycles := cfg.SamplePeriod * uint64(cfg.Samples+2)
+	core.Enqueue(0, isa.NewLoopStream(loop, int(totalCycles/20)+1000), nil)
+
+	trace := make([]float64, 0, cfg.Samples)
+	phase := 0
+	left := 0 // samples left in the current phase
+	for len(trace) < cfg.Samples {
+		if left <= 0 {
+			ph := w.Phases[phase%len(w.Phases)]
+			left = ph.Samples
+			// Scheduling jitter: phase boundaries drift by up to one
+			// sample between runs of the same victim.
+			if left > 1 && r.Bool(0.1) {
+				left += r.Intn(3) - 1
+			}
+			blocks := w.PhaseBlocks(phase % len(w.Phases))
+			core.AbortThread(1)
+			core.Enqueue(1, isa.NewLoopStream(blocks, int(cfg.SamplePeriod)*left/len(blocks)+1000), nil)
+			phase++
+		}
+		snap := core.Snapshot(0)
+		core.RunCycles(cfg.SamplePeriod)
+		ipc := core.IPCSince(0, snap)
+		// Low-resolution timer quantization and OS noise.
+		ipc += r.NormScaled(0, 0.015)
+		trace = append(trace, ipc)
+		left--
+	}
+	return trace
+}
+
+// BaselineIPC returns the attacker's solo IPC (no victim), the 3.58
+// reference of Figure 11.
+func BaselineIPC(cfg Config) float64 {
+	core := cpu.NewCore(cfg.Model, cfg.Seed)
+	loop := attackerLoop()
+	core.Enqueue(0, isa.NewLoopStream(loop, 20_000), nil)
+	core.RunCycles(20_000) // warmup
+	snap := core.Snapshot(0)
+	core.RunCycles(cfg.SamplePeriod * 4)
+	return core.IPCSince(0, snap)
+}
+
+// Distances summarizes a fingerprinting study over a workload suite.
+type Distances struct {
+	Names  []string
+	Matrix *stats.DistanceMatrix
+	Intra  float64 // mean distance between two runs of the same workload
+	Inter  float64 // mean distance between different workloads
+}
+
+// Study traces every workload twice (different seeds) and computes the
+// intra/inter distance statistics of Figure 12 and Section XI-B.
+func Study(cfg Config, suite []victim.Workload) Distances {
+	names := make([]string, len(suite))
+	run1 := make([][]float64, len(suite))
+	run2 := make([][]float64, len(suite))
+	for i := range suite {
+		names[i] = suite[i].Name
+		c1, c2 := cfg, cfg
+		c1.Seed = cfg.Seed*1000 + uint64(i)
+		c2.Seed = cfg.Seed*1000 + uint64(i) + 500
+		run1[i] = Trace(c1, suite[i])
+		run2[i] = Trace(c2, suite[i])
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := range suite {
+		intra += stats.Euclidean(run1[i], run2[i])
+		nIntra++
+		for j := range suite {
+			if i != j {
+				inter += stats.Euclidean(run1[i], run2[j])
+				nInter++
+			}
+		}
+	}
+	return Distances{
+		Names:  names,
+		Matrix: stats.NewDistanceMatrix(names, run1),
+		Intra:  intra / float64(nIntra),
+		Inter:  inter / float64(nInter),
+	}
+}
+
+// Classify matches an observed trace against reference traces and
+// returns the best-matching workload index.
+func Classify(observed []float64, refs [][]float64) int {
+	best, bestD := 0, -1.0
+	for i, r := range refs {
+		d := stats.Euclidean(observed, r)
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,129 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/victim"
+)
+
+func cfg() Config {
+	c := DefaultConfig(cpu.Gold6226())
+	c.Samples = 60 // trimmed for test runtime
+	return c
+}
+
+func TestBaselineIPC(t *testing.T) {
+	ipc := BaselineIPC(cfg())
+	if ipc < 3.0 || ipc > 4.0 {
+		t.Errorf("solo attacker IPC = %.2f, want ~3.5-4 (paper: 3.58)", ipc)
+	}
+}
+
+func TestVictimHalvesIPC(t *testing.T) {
+	c := cfg()
+	base := BaselineIPC(c)
+	tr := Trace(c, victim.CNNs()[0])
+	mean := stats.Mean(tr)
+	if mean > base*0.75 {
+		t.Errorf("co-running victim should cut attacker IPC substantially: solo %.2f, shared %.2f", base, mean)
+	}
+	if mean < base*0.3 {
+		t.Errorf("shared IPC %.2f implausibly low vs solo %.2f", mean, base)
+	}
+}
+
+func TestTraceFluctuatesWithPhases(t *testing.T) {
+	tr := Trace(cfg(), victim.CNNs()[0]) // AlexNet alternates heavy/light
+	if sd := stats.StdDev(tr); sd < 0.03 {
+		t.Errorf("trace stddev %.4f too flat; phases should modulate IPC", sd)
+	}
+}
+
+func TestTraceLength(t *testing.T) {
+	c := cfg()
+	c.Samples = 25
+	if got := len(Trace(c, victim.Geekbench()[0])); got != 25 {
+		t.Errorf("trace length %d, want 25", got)
+	}
+}
+
+func TestIntraBelowInter(t *testing.T) {
+	d := Study(cfg(), victim.CNNs())
+	t.Logf("CNNs: intra=%.3f inter=%.3f", d.Intra, d.Inter)
+	if d.Intra >= d.Inter {
+		t.Errorf("intra-distance %.3f must be below inter-distance %.3f", d.Intra, d.Inter)
+	}
+	if d.Inter/d.Intra < 1.5 {
+		t.Errorf("inter/intra ratio %.2f too small to classify", d.Inter/d.Intra)
+	}
+}
+
+func TestGeekbenchMoreSeparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	c := cfg()
+	cnn := Study(c, victim.CNNs())
+	gb := Study(c, victim.Geekbench()[:6])
+	t.Logf("CNN inter=%.3f, Geekbench inter=%.3f", cnn.Inter, gb.Inter)
+	if gb.Inter <= cnn.Inter {
+		t.Errorf("Geekbench suite (inter %.2f) should separate more than CNNs (%.2f), as in the paper", gb.Inter, cnn.Inter)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	c := cfg()
+	suite := victim.CNNs()
+	refs := make([][]float64, len(suite))
+	for i := range suite {
+		cc := c
+		cc.Seed = 77 + uint64(i)
+		refs[i] = Trace(cc, suite[i])
+	}
+	correct := 0
+	for i := range suite {
+		cc := c
+		cc.Seed = 1234 + uint64(i)
+		obs := Trace(cc, suite[i])
+		if Classify(obs, refs) == i {
+			correct++
+		}
+	}
+	if correct < 3 {
+		t.Errorf("classified %d/4 CNNs correctly, want >= 3", correct)
+	}
+}
+
+func TestNoHTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on HT-disabled model")
+		}
+	}()
+	Trace(DefaultConfig(cpu.XeonE2288G()), victim.CNNs()[0])
+}
+
+func TestVictimCatalog(t *testing.T) {
+	if len(victim.CNNs()) != 4 {
+		t.Error("want 4 CNN models")
+	}
+	if len(victim.Geekbench()) != 10 {
+		t.Error("want 10 Geekbench workloads")
+	}
+	if _, ok := victim.ByName("VGG"); !ok {
+		t.Error("VGG missing from catalog")
+	}
+	if _, ok := victim.ByName("nope"); ok {
+		t.Error("bogus workload found")
+	}
+	for _, w := range victim.CNNs() {
+		if w.TotalSamples() <= 0 {
+			t.Errorf("%s has empty schedule", w.Name)
+		}
+		if len(w.PhaseBlocks(0)) == 0 {
+			t.Errorf("%s phase blocks empty", w.Name)
+		}
+	}
+}

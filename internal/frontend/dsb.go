@@ -1,0 +1,244 @@
+package frontend
+
+import "repro/internal/isa"
+
+// DSBStats counts micro-op cache events.
+type DSBStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Fills      uint64
+	Partitions uint64 // partition-state toggles
+}
+
+// Evicted identifies a window removed from the DSB, so the owner thread's
+// LSD can be flushed (the structures are inclusive, Section IV).
+type Evicted struct {
+	Thread int
+	Window uint64
+}
+
+// dsbEntry is one cached decode window. A window may occupy up to
+// DSBLinesPerWindow ways of its set (6 micro-ops per line).
+type dsbEntry struct {
+	window uint64
+	thread int
+	lines  int
+	uops   int
+	lru    uint64
+	valid  bool
+}
+
+// DSB models the Decoded Stream Buffer: a 32-set, 8-way cache of decoded
+// 32-byte instruction windows (Section IV-B). While two hardware threads
+// are active the DSB is set-partitioned — each thread indexes into half
+// the sets — and repartition transitions invalidate every window whose
+// index changes, the eviction mechanism behind the MT attacks (Section
+// V-A).
+type DSB struct {
+	p           Params
+	sets        [][]dsbEntry // [set][entries]; line occupancy tracked per entry
+	tick        uint64
+	partitioned bool
+	stats       DSBStats
+}
+
+// NewDSB builds an empty DSB from p.
+func NewDSB(p Params) *DSB {
+	d := &DSB{p: p, sets: make([][]dsbEntry, p.DSBSets)}
+	for i := range d.sets {
+		d.sets[i] = make([]dsbEntry, 0, p.DSBWays)
+	}
+	return d
+}
+
+// Partitioned reports whether the DSB is currently set-partitioned.
+func (d *DSB) Partitioned() bool { return d.partitioned }
+
+// Stats returns the event counters.
+func (d *DSB) Stats() DSBStats { return d.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (d *DSB) ResetStats() { d.stats = DSBStats{} }
+
+// SetIndex returns the set a window maps to for a thread under the
+// current partitioning mode: addr[9:5] when the thread owns the whole
+// DSB, or the low half of the index placed in the thread's half when
+// partitioned (Section IV-B).
+func (d *DSB) SetIndex(thread int, window uint64) int {
+	if !d.partitioned {
+		return int(window) & (d.p.DSBSets - 1)
+	}
+	half := d.p.DSBSets / 2
+	return int(window)&(half-1) | thread*half
+}
+
+// Lookup reports whether the window is cached for the thread and
+// refreshes its recency on a hit.
+func (d *DSB) Lookup(thread int, window uint64) bool {
+	d.tick++
+	set := d.sets[d.SetIndex(thread, window)]
+	for i := range set {
+		if set[i].valid && set[i].thread == thread && set[i].window == window {
+			set[i].lru = d.tick
+			d.stats.Hits++
+			return true
+		}
+	}
+	d.stats.Misses++
+	return false
+}
+
+// Contains reports residency without updating recency or counters.
+func (d *DSB) Contains(thread int, window uint64) bool {
+	set := d.sets[d.SetIndex(thread, window)]
+	for i := range set {
+		if set[i].valid && set[i].thread == thread && set[i].window == window {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts a decoded window of the given micro-op count, evicting
+// least-recently-used windows until its lines fit in the set. Windows
+// that exceed DSBLinesPerWindow lines are not cacheable and are dropped
+// (fill fails silently; the window keeps decoding through MITE). The
+// returned list names every window evicted to make room.
+func (d *DSB) Fill(thread int, window uint64, uops int) []Evicted {
+	lines := (uops + d.p.DSBLineUOps - 1) / d.p.DSBLineUOps
+	if lines == 0 {
+		lines = 1
+	}
+	if lines > d.p.DSBLinesPerWindow {
+		return nil // not cacheable: too many micro-ops per window
+	}
+	if d.Contains(thread, window) {
+		return nil
+	}
+	d.tick++
+	idx := d.SetIndex(thread, window)
+	set := d.sets[idx]
+	var evicted []Evicted
+	for d.usedLines(set)+lines > d.p.DSBWays {
+		v := d.lruVictim(set)
+		if v < 0 {
+			return evicted // cannot make room (shouldn't happen)
+		}
+		evicted = append(evicted, Evicted{Thread: set[v].thread, Window: set[v].window})
+		set[v].valid = false
+		d.stats.Evictions++
+	}
+	// Reuse an invalid slot or append.
+	e := dsbEntry{window: window, thread: thread, lines: lines, uops: uops, lru: d.tick, valid: true}
+	placed := false
+	for i := range set {
+		if !set[i].valid {
+			set[i] = e
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		set = append(set, e)
+	}
+	d.sets[idx] = set
+	d.stats.Fills++
+	return evicted
+}
+
+func (d *DSB) usedLines(set []dsbEntry) int {
+	n := 0
+	for _, e := range set {
+		if e.valid {
+			n += e.lines
+		}
+	}
+	return n
+}
+
+func (d *DSB) lruVictim(set []dsbEntry) int {
+	v := -1
+	for i := range set {
+		if set[i].valid && (v < 0 || set[i].lru < set[v].lru) {
+			v = i
+		}
+	}
+	return v
+}
+
+// SetPartitioned switches the partitioning mode. Every resident window
+// whose set index differs under the new mode is invalidated — the paper's
+// "when the second thread becomes active, DSB becomes partitioned, which
+// forces DSB evictions of micro-ops of the first thread" (Section IV-B).
+// The invalidated windows are returned so the owning threads' LSDs can be
+// flushed.
+func (d *DSB) SetPartitioned(on bool) []Evicted {
+	if d.partitioned == on {
+		return nil
+	}
+	var surviving []dsbEntry
+	var evicted []Evicted
+	for si := range d.sets {
+		for _, e := range d.sets[si] {
+			if !e.valid {
+				continue
+			}
+			d.partitioned = on
+			newIdx := d.SetIndex(e.thread, e.window)
+			d.partitioned = !on
+			if newIdx == si {
+				surviving = append(surviving, e)
+			} else {
+				evicted = append(evicted, Evicted{Thread: e.thread, Window: e.window})
+				d.stats.Evictions++
+			}
+		}
+		d.sets[si] = d.sets[si][:0]
+	}
+	d.partitioned = on
+	d.stats.Partitions++
+	for _, e := range surviving {
+		d.sets[d.SetIndex(e.thread, e.window)] = append(d.sets[d.SetIndex(e.thread, e.window)], e)
+	}
+	return evicted
+}
+
+// InvalidateWindowRange drops a thread's decoded windows overlapping
+// [addr, addr+bytes): real instruction-cache invalidations (clflush of
+// code, SMC detection) drop the corresponding micro-op cache entries too.
+func (d *DSB) InvalidateWindowRange(thread int, addr uint64, bytes uint64) {
+	first := isa.Window(addr)
+	last := isa.Window(addr + bytes - 1)
+	for si := range d.sets {
+		for i := range d.sets[si] {
+			e := &d.sets[si][i]
+			if e.valid && e.thread == thread && e.window >= first && e.window <= last {
+				e.valid = false
+				d.stats.Evictions++
+			}
+		}
+	}
+}
+
+// InvalidateThread drops every window owned by a thread (used by enclave
+// exit modelling and tests).
+func (d *DSB) InvalidateThread(thread int) {
+	for si := range d.sets {
+		for i := range d.sets[si] {
+			if d.sets[si][i].valid && d.sets[si][i].thread == thread {
+				d.sets[si][i].valid = false
+				d.stats.Evictions++
+			}
+		}
+	}
+}
+
+// OccupiedLines returns how many of a set's 8 ways hold valid lines under
+// the current mode, for the set that window would map to for thread.
+func (d *DSB) OccupiedLines(thread int, window uint64) int {
+	return d.usedLines(d.sets[d.SetIndex(thread, window)])
+}
+
+// WindowOf is a convenience re-export of the ISA window function.
+func WindowOf(addr uint64) uint64 { return isa.Window(addr) }

@@ -1,0 +1,424 @@
+package frontend
+
+import (
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// Frontend is the per-core instruction delivery engine: two hardware
+// threads share one DSB, one MITE decode pipeline, and one L1I cache,
+// while each owns a private LSD and branch predictor — the sharing
+// structure of Figure 1 that the paper's attacks exploit.
+//
+// Each simulated cycle the core arbiter grants one thread a delivery
+// slot; DeliverCycle then streams micro-ops from whichever path serves
+// the thread's current fetch address, charging the path-dependent stalls
+// (LCP predecode stalls, DSB<->MITE switch penalties, LSD replay bubbles,
+// mispredict redirects) that constitute the timing side channel.
+type Frontend struct {
+	P   Params
+	DSB *DSB
+	L1I *cache.Cache
+	BPU [2]*branch.Predictor
+
+	lsd   [2]*LSD
+	align *AlignTracker
+	sw    *switchBuffer
+	thr   [2]fthread
+	idq   [2]idqRing
+
+	// Ctr holds per-thread event counters.
+	Ctr [2]ThreadCounters
+}
+
+// idqRing is the per-thread Instruction Decode Queue: the micro-op buffer
+// between frontend delivery and backend retirement (Figure 1).
+type idqRing struct {
+	buf  []isa.Inst
+	head int
+	size int // micro-ops buffered
+}
+
+func (q *idqRing) free(cap int) int { return cap - q.size }
+
+func (q *idqRing) push(in isa.Inst) {
+	i := (q.head + q.size) % len(q.buf)
+	q.buf[i] = in
+	q.size += int(in.UOps)
+}
+
+func (q *idqRing) pop() (isa.Inst, bool) {
+	if q.size == 0 {
+		return isa.Inst{}, false
+	}
+	in := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.size -= int(in.UOps)
+	return in, true
+}
+
+type fthread struct {
+	stream isa.Stream
+	cur    isa.Inst
+	hasCur bool
+
+	// stall is fractional stall debt in cycles; whole cycles are consumed
+	// one per DeliverCycle call.
+	stall   float64
+	lastSrc Source
+	prevLCP bool
+
+	// MITE window-fill tracking.
+	fillActive bool
+	fillWindow uint64
+	fillUOps   int
+
+	lastFetchLine uint64
+}
+
+// New builds a frontend. lsdEnabled controls whether the Loop Stream
+// Detector participates (Section X's microcode patches disable it).
+func New(p Params, l1i *cache.Cache, lsdEnabled bool) *Frontend {
+	f := &Frontend{
+		P:     p,
+		DSB:   NewDSB(p),
+		L1I:   l1i,
+		align: NewAlignTracker(p.LSDPoisonCap),
+		sw:    newSwitchBuffer(p.SwitchBufSize),
+	}
+	for t := 0; t < 2; t++ {
+		f.BPU[t] = branch.New()
+		f.lsd[t] = NewLSD(p, lsdEnabled, f.align)
+		f.idq[t] = idqRing{buf: make([]isa.Inst, p.IDQCapacity+1)}
+	}
+	return f
+}
+
+// Align exposes the shared misalignment tracker (tests, experiments).
+func (f *Frontend) Align() *AlignTracker { return f.align }
+
+// IDQLen returns the micro-ops buffered for thread t.
+func (f *Frontend) IDQLen(t int) int { return f.idq[t].size }
+
+// PopUOp removes one micro-op from thread t's IDQ for retirement.
+func (f *Frontend) PopUOp(t int) (isa.Inst, bool) { return f.idq[t].pop() }
+
+// LSDFor exposes a thread's loop stream detector (tests, experiments).
+func (f *Frontend) LSDFor(t int) *LSD { return f.lsd[t] }
+
+// SetStream installs the dynamic instruction stream thread t executes
+// next. Any previous stream is discarded.
+func (f *Frontend) SetStream(t int, s isa.Stream) {
+	f.thr[t].stream = s
+	f.thr[t].hasCur = false
+	f.thr[t].lastFetchLine = ^uint64(0)
+}
+
+// StreamDone reports whether thread t has consumed its entire stream.
+func (f *Frontend) StreamDone(t int) bool {
+	th := &f.thr[t]
+	if th.hasCur {
+		return false
+	}
+	return !f.load(t)
+}
+
+// Stalled reports whether thread t owes stall cycles.
+func (f *Frontend) Stalled(t int) bool { return f.thr[t].stall >= 1 }
+
+// NextAddr returns the address of the next instruction to deliver, used
+// by tests to observe fetch progress.
+func (f *Frontend) NextAddr(t int) (uint64, bool) {
+	if !f.thr[t].hasCur && !f.load(t) {
+		return 0, false
+	}
+	return f.thr[t].cur.Addr, true
+}
+
+// SetPartitioned toggles SMT set-partitioning of the DSB. Repartitioning
+// invalidates relocated windows and flushes both LSDs (Section IV-B).
+func (f *Frontend) SetPartitioned(on bool) {
+	if f.DSB.Partitioned() == on {
+		return
+	}
+	evicted := f.DSB.SetPartitioned(on)
+	for _, e := range evicted {
+		f.lsd[e.Thread].NotifyEviction(e.Window)
+	}
+	f.lsd[0].Flush()
+	f.lsd[1].Flush()
+	f.thr[0].lastSrc = SrcNone
+	f.thr[1].lastSrc = SrcNone
+}
+
+// ResetCounters zeroes both threads' counters.
+func (f *Frontend) ResetCounters() {
+	f.Ctr[0] = ThreadCounters{}
+	f.Ctr[1] = ThreadCounters{}
+}
+
+// DeliverCycle delivers micro-ops for thread t into its IDQ, bounded by
+// the queue's free space, and returns how many were delivered and from
+// which path. A stalled or idle thread delivers nothing.
+func (f *Frontend) DeliverCycle(t int) (int, Source) {
+	th := &f.thr[t]
+	if !th.hasCur && !f.load(t) {
+		f.Ctr[t].IdleCycles++
+		return 0, SrcNone
+	}
+	if th.stall >= 1 {
+		th.stall--
+		f.Ctr[t].StallCycles++
+		return 0, SrcNone
+	}
+	budget := f.idq[t].free(f.P.IDQCapacity)
+	if budget <= 0 {
+		return 0, SrcNone
+	}
+	if f.lsd[t].Locked() {
+		return f.deliverLSD(t, budget)
+	}
+	if !th.cur.HasLCP() {
+		w := isa.Window(th.cur.Addr)
+		if f.DSB.Lookup(t, w) {
+			return f.deliverDSB(t, budget, w)
+		}
+	}
+	return f.deliverMITE(t, budget)
+}
+
+// load pulls the next instruction from the stream into cur.
+func (f *Frontend) load(t int) bool {
+	th := &f.thr[t]
+	if th.hasCur {
+		return true
+	}
+	if th.stream == nil {
+		return false
+	}
+	in, ok := th.stream.Next()
+	if !ok {
+		th.stream = nil
+		f.finalizeFill(t)
+		return false
+	}
+	th.cur = in
+	th.hasCur = true
+	return true
+}
+
+// advance consumes the current instruction: IDQ insertion, loop
+// detection, branch resolution, and loading the successor. It returns the
+// consumed instruction.
+func (f *Frontend) advance(t int) isa.Inst {
+	th := &f.thr[t]
+	in := th.cur
+	th.hasCur = false
+	th.prevLCP = in.HasLCP()
+	f.idq[t].push(in)
+	f.lsd[t].Observe(in, func(w uint64) bool { return f.DSB.Contains(t, w) })
+	if in.Kind == isa.Pause {
+		th.stall += f.P.PauseCycles
+	}
+	if in.IsBranch() {
+		if f.BPU[t].Resolve(in.Addr, in.Taken, in.Target) {
+			th.stall += f.P.MispredictPenalty
+			f.Ctr[t].Mispredicts++
+		}
+	}
+	f.load(t)
+	return in
+}
+
+// switchTo charges the DSB<->MITE switch penalty when the delivery path
+// changes at addr. Transition points the switch buffer has learned pay
+// only the residual (Section IV-H).
+func (f *Frontend) switchTo(t int, src Source, addr uint64) {
+	th := &f.thr[t]
+	prev := th.lastSrc
+	th.lastSrc = src
+	if prev == src || prev == SrcNone || prev == SrcLSD {
+		return
+	}
+	if (prev == SrcDSB && src == SrcMITE) || (prev == SrcMITE && src == SrcDSB) {
+		pen := f.P.SwitchPenalty
+		if f.sw.cost(addr) {
+			pen = f.P.SwitchResidual
+		}
+		th.stall += pen * f.P.SwitchOverlapCharge
+		f.Ctr[t].SwitchCycles += pen
+		f.Ctr[t].SwitchCount++
+	}
+}
+
+// deliverLSD streams the locked loop. Every taken back-edge inserts the
+// replay bubble that makes jump-dense loops slower from the LSD than from
+// the DSB; a fall-through back-edge is the loop exit and tears the lock
+// down.
+func (f *Frontend) deliverLSD(t, budget int) (int, Source) {
+	th := &f.thr[t]
+	th.lastSrc = SrcLSD
+	width := min(f.P.DeliverWidth, budget)
+	n := 0
+	for n < width && th.hasCur {
+		in := th.cur
+		if n > 0 && n+int(in.UOps) > width {
+			break
+		}
+		if !f.lsd[t].InBody(isa.Window(in.Addr)) {
+			// Fetch left the locked loop body without a branch (stream
+			// deviation): the LSD cannot supply it.
+			f.lsd[t].LoopExit()
+			break
+		}
+		th.hasCur = false
+		th.prevLCP = in.HasLCP()
+		f.idq[t].push(in)
+		n += int(in.UOps)
+		if in.Kind == isa.Pause {
+			th.stall += f.P.PauseCycles
+		}
+		if in.IsBranch() {
+			if f.BPU[t].Resolve(in.Addr, in.Taken, in.Target) {
+				th.stall += f.P.MispredictPenalty
+				f.Ctr[t].Mispredicts++
+			}
+			if !in.Taken || !f.lsd[t].InBody(isa.Window(in.Target)) {
+				// Loop exit: fall-through or a departure from the body.
+				f.lsd[t].LoopExit()
+				f.load(t)
+				break
+			}
+			// Body-internal taken jump: the LSD replays with a bubble.
+			th.stall += f.P.LSDJumpBubble
+			f.load(t)
+			break
+		}
+		f.load(t)
+	}
+	f.Ctr[t].UOpsLSD += uint64(n)
+	f.Ctr[t].DeliveryCycles++
+	return n, SrcLSD
+}
+
+// deliverDSB streams decoded micro-ops for one window from the micro-op
+// cache.
+func (f *Frontend) deliverDSB(t, budget int, w uint64) (int, Source) {
+	th := &f.thr[t]
+	f.switchTo(t, SrcDSB, th.cur.Addr)
+	width := min(f.P.DeliverWidth, budget)
+	n := 0
+	for n < width && th.hasCur {
+		in := th.cur
+		if in.HasLCP() || isa.Window(in.Addr) != w {
+			break
+		}
+		if n > 0 && n+int(in.UOps) > width {
+			break
+		}
+		n += int(in.UOps)
+		if isa.Window(in.End()-1) != w {
+			// Window-crossing micro-ops span two DSB lines (Section IV-G).
+			th.stall += f.P.DSBCrossPenalty
+		}
+		f.advance(t)
+		if in.IsBranch() && in.Taken {
+			break
+		}
+	}
+	f.Ctr[t].UOpsDSB += uint64(n)
+	f.Ctr[t].DeliveryCycles++
+	return n, SrcDSB
+}
+
+// deliverMITE fetches, predecodes, and decodes through the legacy path:
+// fetch-bandwidth limited, LCP predecode stalls, and DSB fills of every
+// completed cacheable window.
+func (f *Frontend) deliverMITE(t, budget int) (int, Source) {
+	th := &f.thr[t]
+	f.switchTo(t, SrcMITE, th.cur.Addr)
+	width := min(f.P.DecodeWidth, budget)
+	n, bytes := 0, 0
+	for n < width && th.hasCur {
+		in := th.cur
+		bytes += int(in.Len)
+		if n > 0 && (bytes > f.P.FetchBytes || n+int(in.UOps) > width) {
+			break
+		}
+		// One L1I access per 64-byte fetch line.
+		line := in.Addr &^ 63
+		if line != th.lastFetchLine {
+			th.lastFetchLine = line
+			if !f.L1I.Access(in.Addr) {
+				th.stall += f.P.L1IMissPenalty
+				f.Ctr[t].L1IMisses++
+			}
+		}
+		if in.HasLCP() {
+			count := f.P.LCPStallIsolated
+			charge := count * f.P.LCPOverlapCharge
+			if th.prevLCP {
+				// Consecutive LCPs decode strictly sequentially
+				// (Section IV-H observation (b)): the full stall lands on
+				// the critical path.
+				count = f.P.LCPStallChained
+				charge = count
+			}
+			th.stall += charge
+			f.Ctr[t].LCPStallCycles += count
+		}
+		n += int(in.UOps)
+		f.trackFill(t, in)
+		f.advance(t)
+		if in.IsBranch() && in.Taken {
+			th.stall += f.P.MITERedirectBubble
+			f.finalizeFill(t)
+			break
+		}
+		if in.HasLCP() {
+			// LCP instructions decode alone (Section IV-H).
+			break
+		}
+	}
+	f.Ctr[t].UOpsMITE += uint64(n)
+	f.Ctr[t].DeliveryCycles++
+	return n, SrcMITE
+}
+
+// trackFill accumulates the micro-ops MITE decodes for the current
+// 32-byte window so the window can be installed in the DSB when complete.
+func (f *Frontend) trackFill(t int, in isa.Inst) {
+	th := &f.thr[t]
+	w := isa.Window(in.Addr)
+	if !th.fillActive || th.fillWindow != w {
+		f.finalizeFill(t)
+		th.fillActive = true
+		th.fillWindow = w
+		th.fillUOps = 0
+	}
+	// Only non-LCP micro-ops are cached: an LCP-prefixed instruction must
+	// keep decoding through MITE every time it executes (Section IV-H
+	// observation (a)), which is what forces the DSB-to-MITE switches of
+	// the mixed-issue pattern.
+	if !in.HasLCP() {
+		th.fillUOps += int(in.UOps)
+	}
+}
+
+// finalizeFill installs the tracked window's cacheable micro-ops into the
+// DSB.
+func (f *Frontend) finalizeFill(t int) {
+	th := &f.thr[t]
+	if !th.fillActive {
+		return
+	}
+	th.fillActive = false
+	if th.fillUOps == 0 {
+		return
+	}
+	evicted := f.DSB.Fill(t, th.fillWindow, th.fillUOps)
+	for _, e := range evicted {
+		f.lsd[e.Thread].NotifyEviction(e.Window)
+	}
+}

@@ -1,0 +1,47 @@
+package frontend
+
+// switchBuffer remembers recent DSB<->MITE transition points. A stable
+// code layout (the paper's "ordered issue", Section IV-H) transitions at
+// the same few addresses every iteration; those entries saturate and the
+// switch penalty amortizes away. An alternating layout ("mixed issue")
+// generates more transition points than the buffer holds, so every switch
+// pays the full penalty — the mechanism behind Figure 4's switch-penalty
+// asymmetry and the slow-switch covert channel (Section V-E).
+type switchBuffer struct {
+	addrs   []uint64
+	counts  []uint8
+	learned uint8 // occurrences before a transition point is free
+}
+
+func newSwitchBuffer(size int) *switchBuffer {
+	if size <= 0 {
+		size = 8
+	}
+	return &switchBuffer{addrs: make([]uint64, size), counts: make([]uint8, size), learned: 2}
+}
+
+// cost returns the penalty multiplier (1 = full penalty, 0..1 = learned)
+// for a transition at addr, and records the occurrence. Direct-mapped by
+// address; a conflicting address evicts the previous entry, which is what
+// defeats learning for dense transition patterns.
+func (b *switchBuffer) cost(addr uint64) bool {
+	i := int(addr>>1) % len(b.addrs)
+	if b.addrs[i] == addr {
+		if b.counts[i] >= b.learned {
+			return true // learned: caller charges only the residual
+		}
+		b.counts[i]++
+		return false
+	}
+	b.addrs[i] = addr
+	b.counts[i] = 1
+	return false
+}
+
+// reset forgets all transition points.
+func (b *switchBuffer) reset() {
+	for i := range b.addrs {
+		b.addrs[i] = 0
+		b.counts[i] = 0
+	}
+}

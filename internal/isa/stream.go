@@ -1,0 +1,114 @@
+package isa
+
+// Stream is a dynamic instruction stream: the sequence of instruction
+// instances a hardware thread executes, in program order. The frontend
+// simulator pulls from a Stream as it fetches.
+type Stream interface {
+	// Next returns the next dynamic instruction, or ok=false when the
+	// stream is exhausted.
+	Next() (Inst, bool)
+}
+
+// LoopStream yields the instructions of a chained block sequence a fixed
+// number of iterations. Every terminating jmp is taken except the final
+// jmp of the final iteration, which is not taken (the loop exits), exactly
+// the branch pattern that ends LSD streaming in the paper (Section IV).
+type LoopStream struct {
+	flat  []Inst
+	iters int
+	pos   int
+	iter  int
+}
+
+// NewLoopStream builds a stream that executes the blocks in order, iters
+// times. It panics if blocks is empty or iters < 1.
+func NewLoopStream(blocks []*Block, iters int) *LoopStream {
+	if len(blocks) == 0 {
+		panic("isa: NewLoopStream with no blocks")
+	}
+	if iters < 1 {
+		panic("isa: NewLoopStream with iters < 1")
+	}
+	var flat []Inst
+	for _, b := range blocks {
+		flat = append(flat, b.Insts...)
+	}
+	return &LoopStream{flat: flat, iters: iters}
+}
+
+// Next implements Stream.
+func (s *LoopStream) Next() (Inst, bool) {
+	if s.iter >= s.iters {
+		return Inst{}, false
+	}
+	in := s.flat[s.pos]
+	s.pos++
+	if s.pos == len(s.flat) {
+		s.pos = 0
+		s.iter++
+		if s.iter == s.iters && in.Kind == Jmp {
+			// Loop exit: final back-edge not taken.
+			in.Taken = false
+		}
+	}
+	return in, true
+}
+
+// SeqStream yields a fixed instruction slice once.
+type SeqStream struct {
+	insts []Inst
+	pos   int
+}
+
+// NewSeqStream wraps insts in a Stream.
+func NewSeqStream(insts []Inst) *SeqStream { return &SeqStream{insts: insts} }
+
+// Next implements Stream.
+func (s *SeqStream) Next() (Inst, bool) {
+	if s.pos >= len(s.insts) {
+		return Inst{}, false
+	}
+	in := s.insts[s.pos]
+	s.pos++
+	return in, true
+}
+
+// ConcatStream chains multiple streams end to end.
+type ConcatStream struct {
+	streams []Stream
+	idx     int
+}
+
+// Concat returns a stream yielding each input stream in turn.
+func Concat(streams ...Stream) *ConcatStream { return &ConcatStream{streams: streams} }
+
+// Next implements Stream.
+func (s *ConcatStream) Next() (Inst, bool) {
+	for s.idx < len(s.streams) {
+		if in, ok := s.streams[s.idx].Next(); ok {
+			return in, true
+		}
+		s.idx++
+	}
+	return Inst{}, false
+}
+
+// FuncStream adapts a generator function to the Stream interface. The
+// victim workload generators use this to produce phase-dependent streams.
+type FuncStream func() (Inst, bool)
+
+// Next implements Stream.
+func (f FuncStream) Next() (Inst, bool) { return f() }
+
+// CountUOps drains a copy-free count of the total micro-ops a finite
+// stream would deliver. Intended for tests; it consumes the stream.
+func CountUOps(s Stream) int {
+	n := 0
+	for {
+		in, ok := s.Next()
+		if !ok {
+			return n
+		}
+		n += int(in.UOps)
+	}
+}

@@ -1,0 +1,121 @@
+package isa
+
+import "testing"
+
+func TestLoopStreamCount(t *testing.T) {
+	blocks := MixChain(0, 4, true)
+	s := NewLoopStream(blocks, 3)
+	n := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if want := 4 * 5 * 3; n != want {
+		t.Errorf("LoopStream yielded %d insts, want %d", n, want)
+	}
+}
+
+func TestLoopStreamFinalBranchNotTaken(t *testing.T) {
+	blocks := MixChain(0, 2, true)
+	s := NewLoopStream(blocks, 2)
+	var insts []Inst
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		insts = append(insts, in)
+	}
+	last := insts[len(insts)-1]
+	if last.Kind != Jmp {
+		t.Fatalf("last inst is %v, want jmp", last.Kind)
+	}
+	if last.Taken {
+		t.Error("final loop back-edge must be not taken (loop exit)")
+	}
+	// All other jumps taken.
+	for i, in := range insts[:len(insts)-1] {
+		if in.Kind == Jmp && !in.Taken {
+			t.Errorf("intermediate jmp %d not taken", i)
+		}
+	}
+}
+
+func TestLoopStreamUOpsMatchBlocks(t *testing.T) {
+	blocks := MixChain(3, 8, true)
+	want := 0
+	for _, b := range blocks {
+		want += b.UOps()
+	}
+	got := CountUOps(NewLoopStream(blocks, 1))
+	if got != want {
+		t.Errorf("stream uops = %d, want %d", got, want)
+	}
+}
+
+func TestLoopStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty blocks")
+		}
+	}()
+	NewLoopStream(nil, 1)
+}
+
+func TestSeqStream(t *testing.T) {
+	insts := MixBlock(0x100).Insts
+	s := NewSeqStream(insts)
+	for i := range insts {
+		in, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if in.Addr != insts[i].Addr {
+			t.Errorf("inst %d addr mismatch", i)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("stream should be exhausted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSeqStream(MixBlock(0x100).Insts)
+	b := NewSeqStream(MixBlock(0x200).Insts)
+	s := Concat(a, b)
+	n := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("concat yielded %d, want 10", n)
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	s := Concat()
+	if _, ok := s.Next(); ok {
+		t.Error("empty concat should be exhausted")
+	}
+}
+
+func TestFuncStream(t *testing.T) {
+	n := 0
+	s := FuncStream(func() (Inst, bool) {
+		if n >= 3 {
+			return Inst{}, false
+		}
+		n++
+		return Inst{Kind: Nop, UOps: 1, Len: 1}, true
+	})
+	if got := CountUOps(s); got != 3 {
+		t.Errorf("FuncStream uops = %d, want 3", got)
+	}
+}

@@ -1,0 +1,96 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/frontend"
+)
+
+func params() Params {
+	p := DefaultParams(2.7)
+	p.RAPLIntervalCycles = 100
+	p.RAPLQuantum = 10
+	return p
+}
+
+func TestEnergyAccrual(t *testing.T) {
+	m := NewMeter(params())
+	m.AddCycle(frontend.ThreadCounters{UOpsDSB: 4}, 4)
+	want := m.P.StaticWatts + 4*m.P.EnergyDSBUOp + 4*m.P.EnergyRetireUOp
+	if got := m.TrueEnergy(); got != want {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestPathEnergyOrdering(t *testing.T) {
+	// Figure 9: at equal delivery rates, LSD < DSB < MITE power.
+	mk := func(d frontend.ThreadCounters) float64 {
+		m := NewMeter(params())
+		for i := 0; i < 1000; i++ {
+			m.AddCycle(d, 4)
+		}
+		return AvgWatts(m.TrueEnergy(), m.Cycles())
+	}
+	lsd := mk(frontend.ThreadCounters{UOpsLSD: 4})
+	dsb := mk(frontend.ThreadCounters{UOpsDSB: 4})
+	mite := mk(frontend.ThreadCounters{UOpsMITE: 4})
+	if !(lsd < dsb && dsb < mite) {
+		t.Errorf("power ordering violated: LSD=%.1f DSB=%.1f MITE=%.1f", lsd, dsb, mite)
+	}
+}
+
+func TestRAPLUpdateInterval(t *testing.T) {
+	m := NewMeter(params())
+	d := frontend.ThreadCounters{UOpsDSB: 4}
+	for i := 0; i < 50; i++ {
+		m.AddCycle(d, 4)
+	}
+	if got := m.RAPLRead(); got != 0 {
+		t.Errorf("counter published before interval elapsed: %v", got)
+	}
+	for i := 0; i < 60; i++ {
+		m.AddCycle(d, 4)
+	}
+	if got := m.RAPLRead(); got == 0 {
+		t.Error("counter not published after interval")
+	}
+}
+
+func TestRAPLQuantization(t *testing.T) {
+	m := NewMeter(params())
+	d := frontend.ThreadCounters{UOpsDSB: 4}
+	for i := 0; i < 200; i++ {
+		m.AddCycle(d, 4)
+	}
+	v := m.RAPLRead()
+	if q := m.P.RAPLQuantum; v != float64(uint64(v/q))*q {
+		t.Errorf("RAPL value %v not quantized to %v", v, q)
+	}
+	if v > m.TrueEnergy() {
+		t.Error("published counter exceeds true energy")
+	}
+}
+
+func TestRAPLReadsCounted(t *testing.T) {
+	m := NewMeter(params())
+	m.RAPLRead()
+	m.RAPLRead()
+	if m.RAPLReads() != 2 {
+		t.Errorf("reads = %d, want 2", m.RAPLReads())
+	}
+}
+
+func TestAvgWattsZeroCycles(t *testing.T) {
+	if AvgWatts(100, 0) != 0 {
+		t.Error("zero cycles should yield zero watts")
+	}
+}
+
+func TestStallEnergy(t *testing.T) {
+	m := NewMeter(params())
+	m.AddCycle(frontend.ThreadCounters{StallCycles: 1}, 0)
+	want := m.P.StaticWatts + m.P.EnergyStallCycle
+	if got := m.TrueEnergy(); got != want {
+		t.Errorf("stall energy = %v, want %v", got, want)
+	}
+}

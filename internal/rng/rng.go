@@ -1,0 +1,111 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Every stochastic element of the reproduction (measurement jitter, SMT
+// desynchronization, OS noise) draws from an rng.RNG seeded explicitly, so
+// every experiment in this repository is reproducible bit-for-bit. The
+// generator is SplitMix64, which is tiny, allocation-free, and passes
+// BigCrush; statistical perfection is not required here, determinism and
+// independence between forked streams are.
+package rng
+
+import "math"
+
+// golden is the 64-bit golden-ratio constant used by SplitMix64.
+const golden = 0x9E3779B97F4A7C15
+
+// RNG is a deterministic SplitMix64 generator. The zero value is a valid
+// generator seeded with 0; use New to seed explicitly.
+type RNG struct {
+	state uint64
+
+	// spare caches the second output of the Box-Muller transform.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded with seed. Two generators built from the
+// same seed produce identical streams.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent generator from r using a label, without
+// disturbing r's own stream. Forking with distinct labels yields streams
+// that are independent for all practical purposes.
+func (r *RNG) Fork(label uint64) *RNG {
+	// Mix the label through one SplitMix64 round of a copy of the state.
+	s := r.state + golden*(label+1)
+	return &RNG{state: mix(s)}
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += golden
+	return mix(r.state)
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normally distributed value (mean 0, stddev 1)
+// using the Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+// NormScaled returns a normally distributed value with the given mean and
+// standard deviation.
+func (r *RNG) NormScaled(mean, sigma float64) float64 {
+	return mean + sigma*r.Norm()
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

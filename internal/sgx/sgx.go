@@ -1,0 +1,175 @@
+// Package sgx models Intel SGX enclaves as covert-channel senders
+// (Section VIII). The enclave boundary changes three things relative to
+// the plain channels: every bit costs one enclave entry and one exit
+// (EENTER/EEXIT microcode, TLB shootdowns — thousands of cycles each),
+// code behind the boundary is measured more noisily from outside, and
+// far more iterations are needed per bit (p = q = 1,000-5,000 for non-MT,
+// q = 10,000 for MT, versus 10 outside SGX) — which is exactly why the
+// paper's Table VI rates are roughly 1/25 to 1/30 of Table III's.
+package sgx
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Paper-default iteration counts (Section VIII).
+const (
+	// NonMTIters is p = q for the single-threaded SGX channels.
+	NonMTIters = 1000
+	// MTEncodeIters is q for the MT SGX channels.
+	MTEncodeIters = 10000
+	// MTMeasurements is how many decode passes the outside receiver
+	// averages per bit.
+	MTMeasurements = 10
+	// iterPad models per-iteration enclave execution overhead (encrypted
+	// page cache accesses and MEE latency on code fetch).
+	iterPad = 75
+)
+
+func requireSGX(m cpu.Model) {
+	if !m.SGX {
+		panic(fmt.Sprintf("sgx: %s has no SGX support (Table I)", m.Name))
+	}
+}
+
+// NonMTChannel is a single-threaded SGX covert channel: the sender runs
+// inside the enclave, the receiver triggers it and times the whole
+// enclave call from outside — one entry and one exit per bit
+// (Section VIII-2).
+type NonMTChannel struct {
+	cfg  attack.NonMTConfig
+	core *cpu.Core
+
+	one  []*isa.Block
+	zero []*isa.Block
+	base []*isa.Block
+	pad  *isa.Block
+}
+
+// NewNonMT builds the SGX variant of a non-MT channel. The configuration
+// is the plain channel's, with the iteration count raised to the SGX
+// setting.
+func NewNonMT(cfg attack.NonMTConfig) *NonMTChannel {
+	requireSGX(cfg.Model)
+	if cfg.P < NonMTIters {
+		cfg.P = NonMTIters
+	}
+	inner := attack.NewNonMT(cfg)
+	c := &NonMTChannel{
+		cfg:  cfg,
+		core: inner.Core(),
+		one:  inner.BlocksOne(),
+		zero: inner.BlocksZero(),
+		base: inner.BlocksBase(),
+		pad:  isa.PauseBlock(isa.AddrForSet(30, 20), 0),
+	}
+	return c
+}
+
+// Name implements channel.BitChannel.
+func (c *NonMTChannel) Name() string {
+	mode := "Fast"
+	if c.cfg.Stealthy {
+		mode = "Stealthy"
+	}
+	return fmt.Sprintf("SGX Non-MT %s %s", mode, c.cfg.Kind)
+}
+
+// FreqGHz implements channel.BitChannel.
+func (c *NonMTChannel) FreqGHz() float64 { return c.cfg.Model.FreqGHz }
+
+// Cycles implements channel.BitChannel.
+func (c *NonMTChannel) Cycles() uint64 { return c.core.Cycle() }
+
+// SendBit implements channel.BitChannel: enclave entry, p iterations of
+// the init/encode/decode loop inside the enclave, enclave exit; the
+// receiver measures the whole call with enclave-inflated noise.
+func (c *NonMTChannel) SendBit(m byte) float64 {
+	blocks := c.one
+	if m == '0' {
+		blocks = c.zero
+		if blocks == nil {
+			blocks = c.base
+		}
+	}
+	model := c.cfg.Model
+	// Enclave entry.
+	c.core.RunCycles(uint64(model.EnclaveTransitionCycles))
+	meas := c.core.RunTimed(0, isa.NewLoopStream(blocks, c.cfg.P))
+	// Per-iteration enclave overhead occupies real time.
+	c.core.RunCycles(uint64(c.cfg.P * iterPad))
+	// Enclave exit.
+	c.core.RunCycles(uint64(model.EnclaveTransitionCycles))
+	// Per-iteration enclave overhead and the transition costs are part
+	// of what the outside receiver times.
+	meas += 2*model.EnclaveTransitionCycles + float64(c.cfg.P*iterPad)
+	// Enclave boundary noise.
+	meas += c.core.R.NormScaled(0, model.TimerSigmaAbs*(model.EnclaveNoiseFactor-1))
+	return meas
+}
+
+// MTChannel is the MT SGX channel: the enclave sender keeps its own
+// hardware thread while the outside receiver times its own decode passes
+// on the sibling thread (Section VIII-1).
+type MTChannel struct {
+	cfg  attack.MTConfig
+	core *cpu.Core
+
+	recv   []*isa.Block
+	sender []*isa.Block
+}
+
+// NewMT builds the MT SGX variant.
+func NewMT(cfg attack.MTConfig) *MTChannel {
+	requireSGX(cfg.Model)
+	inner := attack.NewMT(cfg)
+	return &MTChannel{
+		cfg:    cfg,
+		core:   inner.Core(),
+		recv:   inner.ReceiverBlocks(),
+		sender: attack.SGXSenderChain(cfg, 250),
+	}
+}
+
+// Name implements channel.BitChannel.
+func (c *MTChannel) Name() string { return fmt.Sprintf("SGX MT %s", c.cfg.Kind) }
+
+// FreqGHz implements channel.BitChannel.
+func (c *MTChannel) FreqGHz() float64 { return c.cfg.Model.FreqGHz }
+
+// Cycles implements channel.BitChannel.
+func (c *MTChannel) Cycles() uint64 { return c.core.Cycle() }
+
+// SendBit implements channel.BitChannel.
+func (c *MTChannel) SendBit(m byte) float64 {
+	model := c.cfg.Model
+	// One enclave entry per bit on the sender thread.
+	c.core.RunCycles(uint64(model.EnclaveTransitionCycles))
+	if m == '1' {
+		c.core.Enqueue(1, isa.NewLoopStream(c.sender, MTEncodeIters), nil)
+	}
+	// Receiver passes stay short (the plain MT length): the partition
+	// signal concentrates in the passes right after the enclave starts
+	// executing, and long passes would dilute it.
+	const iters = 10
+	meas := make([]float64, 0, MTMeasurements)
+	for i := 0; i < MTMeasurements; i++ {
+		c.core.MeasureEnqueue(0, isa.NewLoopStream(c.recv, iters), func(v float64) {
+			meas = append(meas, v)
+		})
+	}
+	c.core.RunUntilIdle(2_000_000_000)
+	c.core.RunCycles(uint64(model.EnclaveTransitionCycles))
+	// The receiver runs *outside* the enclave; only the plain SMT
+	// desynchronization noise applies to its own measurements.
+	noise := model.MTNoisePerPass
+	if c.cfg.Kind == attack.Misalignment {
+		noise *= 0.55
+	}
+	return stats.Mean(meas)/float64(iters) + c.core.R.NormScaled(0, noise)
+}

@@ -1,0 +1,87 @@
+package spectre
+
+import (
+	"testing"
+)
+
+var secret = []byte{3, 17, 29, 8, 0, 31, 12, 22}
+
+func TestChannelNames(t *testing.T) {
+	for ch, want := range map[Channel]string{
+		Frontend: "Frontend", L1IFlushReload: "L1I F+R", L1IPrimeProbe: "L1I P+P",
+		MemFlushReload: "MEM F+R", L1DFlushReload: "L1D F+R", L1DLRU: "L1D LRU",
+	} {
+		if ch.String() != want {
+			t.Errorf("channel %d name %q, want %q", ch, ch.String(), want)
+		}
+	}
+}
+
+func TestFrontendChannelLeaks(t *testing.T) {
+	lab := NewLab(DefaultConfig(Frontend))
+	res := lab.Leak(secret)
+	if res.Accuracy < 0.85 {
+		t.Errorf("frontend channel accuracy %.2f, want >= 0.85", res.Accuracy)
+	}
+}
+
+func TestAllChannelsLeak(t *testing.T) {
+	for _, ch := range []Channel{Frontend, L1IFlushReload, L1IPrimeProbe, MemFlushReload, L1DFlushReload, L1DLRU} {
+		lab := NewLab(DefaultConfig(ch))
+		res := lab.Leak(secret)
+		if res.Accuracy < 0.8 {
+			t.Errorf("%v accuracy %.2f, want >= 0.8", ch, res.Accuracy)
+		}
+	}
+}
+
+func TestMissRateOrdering(t *testing.T) {
+	// Table VII's headline: the frontend channel has the lowest L1 miss
+	// rate; the data-cache channels the highest.
+	rates := map[Channel]float64{}
+	for _, ch := range []Channel{Frontend, L1IFlushReload, L1IPrimeProbe, MemFlushReload, L1DFlushReload, L1DLRU} {
+		lab := NewLab(DefaultConfig(ch))
+		rates[ch] = lab.Leak(secret).L1MissRate
+		t.Logf("%-10v L1 miss rate %.3f%%", ch, 100*rates[ch])
+	}
+	if rates[Frontend] >= rates[L1IFlushReload] {
+		t.Errorf("frontend (%.4f) should beat L1I F+R (%.4f)", rates[Frontend], rates[L1IFlushReload])
+	}
+	if rates[Frontend] >= rates[L1IPrimeProbe] {
+		t.Errorf("frontend (%.4f) should beat L1I P+P (%.4f)", rates[Frontend], rates[L1IPrimeProbe])
+	}
+	if rates[L1IFlushReload] >= rates[MemFlushReload] {
+		t.Errorf("L1I F+R (%.4f) should beat MEM F+R (%.4f)", rates[L1IFlushReload], rates[MemFlushReload])
+	}
+	if rates[MemFlushReload] >= rates[L1DFlushReload] {
+		t.Errorf("MEM F+R (%.4f) should beat L1D F+R (%.4f)", rates[MemFlushReload], rates[L1DFlushReload])
+	}
+}
+
+func TestFrontendChannelCausesNoDataMisses(t *testing.T) {
+	// The paper's stealth claim: the frontend channel does not touch the
+	// data caches at all.
+	lab := NewLab(DefaultConfig(Frontend))
+	res := lab.Leak(secret)
+	if res.L1DMiss != 0 {
+		t.Errorf("frontend channel caused L1D miss rate %.4f, want 0", res.L1DMiss)
+	}
+}
+
+func TestLeakChunkRejectsOutOfRange(t *testing.T) {
+	lab := NewLab(DefaultConfig(Frontend))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lab.LeakChunk(32)
+}
+
+func TestDeterministicLeak(t *testing.T) {
+	a := NewLab(DefaultConfig(Frontend)).Leak(secret)
+	b := NewLab(DefaultConfig(Frontend)).Leak(secret)
+	if a.Accuracy != b.Accuracy || a.L1MissRate != b.L1MissRate {
+		t.Error("same-seed leaks diverged")
+	}
+}

@@ -1,0 +1,289 @@
+// Package stats provides the statistical machinery the paper's evaluation
+// relies on: summary statistics, fixed-width histograms (Figures 2 and 9),
+// Euclidean distance between IPC traces (Section XI), the Wagner-Fischer
+// edit distance used to compute covert-channel error rates (Section VI),
+// and mean-based threshold calibration for bit decoding (Section VI-B).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Euclidean returns the Euclidean distance between two equal-length
+// vectors, as used for IPC-trace comparison in Section XI. It panics if
+// the lengths differ.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Euclidean length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// EditDistance returns the Levenshtein edit distance between a and b using
+// the Wagner-Fischer dynamic program, the algorithm the paper cites for
+// computing covert-channel error rates.
+func EditDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	// One-row DP, O(len(b)) space.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// BitErrorRate returns the covert-channel error rate between the sent and
+// received bit strings: the edit distance normalized by the sent length,
+// matching the paper's evaluation methodology (Section VI).
+func BitErrorRate(sent, received string) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	return float64(EditDistance(sent, received)) / float64(len(sent))
+}
+
+// Threshold is a two-class decision threshold calibrated from labelled
+// timing (or energy) samples, following Section VI-B: an alternating
+// pattern of 0s and 1s is sent, the measurements for each class are
+// averaged, and a measurement is classified by the nearest class mean.
+type Threshold struct {
+	Mean0 float64 // mean measurement when bit 0 was sent
+	Mean1 float64 // mean measurement when bit 1 was sent
+	Cut   float64 // midpoint decision boundary
+}
+
+// Calibrate builds a Threshold from samples observed while sending 0s and
+// while sending 1s.
+func Calibrate(zeros, ones []float64) Threshold {
+	m0, m1 := Mean(zeros), Mean(ones)
+	return Threshold{Mean0: m0, Mean1: m1, Cut: (m0 + m1) / 2}
+}
+
+// Classify returns the decoded bit for measurement x by nearest class
+// mean. The sign of the separation (whether 1 is the slower or the faster
+// class) is captured at calibration time, so attacks whose signal inverts
+// across microarchitectures decode correctly without special-casing.
+func (t Threshold) Classify(x float64) byte {
+	if math.Abs(x-t.Mean1) < math.Abs(x-t.Mean0) {
+		return '1'
+	}
+	return '0'
+}
+
+// Separation returns the distance between the class means, the raw signal
+// amplitude of the channel.
+func (t Threshold) Separation() float64 {
+	return math.Abs(t.Mean1 - t.Mean0)
+}
+
+// Histogram is a fixed-bin-width histogram used to render the timing and
+// power distributions of Figures 2 and 9.
+type Histogram struct {
+	Lo, Width float64
+	Counts    []int
+	N         int
+}
+
+// NewHistogram creates a histogram covering [lo, hi) with the given number
+// of bins. It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Width: (hi - lo) / float64(bins), Counts: make([]int, bins)}
+}
+
+// Add records a sample; out-of-range samples clamp to the edge bins so no
+// observation is silently dropped.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / h.Width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.Width
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Render draws a terminal-friendly bar chart of the histogram, one row per
+// non-empty bin, scaled to width columns.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := c * width / maxC
+		fmt.Fprintf(&b, "%10.1f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// DistanceMatrix holds pairwise distances between named traces, used for
+// the inter/intra-distance fingerprinting analysis of Figure 12.
+type DistanceMatrix struct {
+	Names []string
+	D     [][]float64
+}
+
+// NewDistanceMatrix computes the full pairwise Euclidean distance matrix
+// for the given named traces.
+func NewDistanceMatrix(names []string, traces [][]float64) *DistanceMatrix {
+	n := len(names)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = Euclidean(traces[i], traces[j])
+		}
+	}
+	return &DistanceMatrix{Names: names, D: d}
+}
+
+// String renders the matrix as an aligned table.
+func (m *DistanceMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, n := range m.Names {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	b.WriteByte('\n')
+	for i, row := range m.D {
+		fmt.Fprintf(&b, "%-14s", m.Names[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, "%12.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

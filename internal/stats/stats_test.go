@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constant = %v, want 0", got)
+	}
+	got := StdDev([]float64{1, 3})
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("StdDev = %v, want 1", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Errorf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+	if got := Median(xs); got != 4 {
+		t.Errorf("Median = %v, want 4", got)
+	}
+	if got := Median([]float64{2, 1, 3}); got != 2 {
+		t.Errorf("Median odd = %v, want 2", got)
+	}
+	// Median must not mutate its input.
+	if xs[0] != 5 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := Euclidean(a, b); got != 5 {
+		t.Errorf("Euclidean = %v, want 5", got)
+	}
+}
+
+func TestEuclideanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"0101", "0101", 0},
+		{"0000", "1111", 4},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"10", "01", 2},
+		{"1010", "010", 1},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	// Symmetry and identity, property-based.
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		d1 := EditDistance(a, b)
+		d2 := EditDistance(b, a)
+		if d1 != d2 {
+			return false
+		}
+		if EditDistance(a, a) != 0 {
+			return false
+		}
+		// Distance bounded by the longer string's length.
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		return d1 <= maxLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		if len(c) > 20 {
+			c = c[:20]
+		}
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitErrorRate(t *testing.T) {
+	if got := BitErrorRate("0101", "0101"); got != 0 {
+		t.Errorf("BER identical = %v", got)
+	}
+	if got := BitErrorRate("0000", "0001"); got != 0.25 {
+		t.Errorf("BER one flip = %v, want 0.25", got)
+	}
+	if got := BitErrorRate("", "111"); got != 0 {
+		t.Errorf("BER empty sent = %v, want 0", got)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	th := Calibrate([]float64{10, 12, 11}, []float64{20, 22, 21})
+	if th.Classify(11) != '0' {
+		t.Error("11 should classify as 0")
+	}
+	if th.Classify(21) != '1' {
+		t.Error("21 should classify as 1")
+	}
+	if !almostEqual(th.Cut, 16, 1e-9) {
+		t.Errorf("Cut = %v, want 16", th.Cut)
+	}
+	if !almostEqual(th.Separation(), 10, 1e-9) {
+		t.Errorf("Separation = %v, want 10", th.Separation())
+	}
+}
+
+func TestThresholdInvertedChannel(t *testing.T) {
+	// Channels where bit 1 is the FASTER class must still decode: the
+	// nearest-mean rule is sign-agnostic.
+	th := Calibrate([]float64{100, 101}, []float64{50, 51})
+	if th.Classify(52) != '1' {
+		t.Error("fast sample should decode as 1 on inverted channel")
+	}
+	if th.Classify(99) != '0' {
+		t.Error("slow sample should decode as 0 on inverted channel")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, v := range []float64{1, 1.5, 5, 5.1, 5.2, 9.9} {
+		h.Add(v)
+	}
+	if h.N != 6 {
+		t.Errorf("N = %d, want 6", h.N)
+	}
+	if got := h.Mode(); !almostEqual(got, 5.5, 1e-9) {
+		t.Errorf("Mode = %v, want 5.5", got)
+	}
+	// Clamping, not dropping.
+	h.Add(-5)
+	h.Add(100)
+	if h.Counts[0] == 0 || h.Counts[9] == 0 {
+		t.Error("out-of-range samples were not clamped to edge bins")
+	}
+	if !strings.Contains(h.Render(30), "#") {
+		t.Error("Render produced no bars")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	names := []string{"a", "b"}
+	traces := [][]float64{{0, 0}, {3, 4}}
+	m := NewDistanceMatrix(names, traces)
+	if m.D[0][0] != 0 || m.D[1][1] != 0 {
+		t.Error("diagonal must be zero")
+	}
+	if m.D[0][1] != 5 || m.D[1][0] != 5 {
+		t.Errorf("off-diagonal = %v, want 5", m.D[0][1])
+	}
+	s := m.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "5.000") {
+		t.Errorf("String output unexpected:\n%s", s)
+	}
+}

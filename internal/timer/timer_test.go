@@ -1,0 +1,89 @@
+package timer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMeasureUnbiased(t *testing.T) {
+	tsc := NewTSC(rng.New(1), 5, 0.01)
+	tsc.SpikeProb = 0
+	const trueC = 1000.0
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += tsc.Measure(trueC)
+	}
+	mean := sum / n
+	if math.Abs(mean-trueC) > 2 {
+		t.Errorf("mean measurement %v deviates from true %v", mean, trueC)
+	}
+}
+
+func TestMeasureNoiseScales(t *testing.T) {
+	tsc := NewTSC(rng.New(2), 0, 0.05)
+	tsc.SpikeProb = 0
+	spread := func(trueC float64) float64 {
+		var lo, hi = math.Inf(1), math.Inf(-1)
+		for i := 0; i < 2000; i++ {
+			m := tsc.Measure(trueC)
+			lo = math.Min(lo, m)
+			hi = math.Max(hi, m)
+		}
+		return hi - lo
+	}
+	if spread(100) >= spread(10000) {
+		t.Error("relative noise should grow with duration")
+	}
+}
+
+func TestMeasureNonNegative(t *testing.T) {
+	tsc := NewTSC(rng.New(3), 50, 0)
+	for i := 0; i < 5000; i++ {
+		if tsc.Measure(1) < 0 {
+			t.Fatal("negative measurement")
+		}
+	}
+}
+
+func TestSpikes(t *testing.T) {
+	tsc := NewTSC(rng.New(4), 0, 0)
+	tsc.SpikeProb = 0.5
+	spiked := 0
+	for i := 0; i < 1000; i++ {
+		if tsc.Measure(100) > 400 {
+			spiked++
+		}
+	}
+	if spiked < 300 {
+		t.Errorf("expected frequent spikes, got %d/1000", spiked)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewTSC(rng.New(7), 5, 0.01)
+	b := NewTSC(rng.New(7), 5, 0.01)
+	for i := 0; i < 100; i++ {
+		if a.Measure(500) != b.Measure(500) {
+			t.Fatal("same-seed TSCs diverged")
+		}
+	}
+}
+
+func TestLowResSampler(t *testing.T) {
+	s := NewLowResSampler(100)
+	if s.Tick(50) {
+		t.Error("tick before period")
+	}
+	if !s.Tick(100) {
+		t.Error("no tick at period")
+	}
+	if s.Tick(150) {
+		t.Error("tick mid-period")
+	}
+	if !s.Tick(250) {
+		t.Error("no tick after catching up")
+	}
+}

@@ -1,0 +1,137 @@
+// Package ucode implements the paper's microcode patch fingerprinting
+// (Section X): the Gold 6226's older patch1 microcode leaves the LSD
+// enabled, the newer patch2 disables it, and an unprivileged attacker can
+// tell the two apart by comparing loops that fit inside the LSD's 64
+// micro-op capacity against loops that exceed it — through timing or
+// through RAPL power (Figure 10). Knowing the patch level tells the
+// attacker which CVEs remain exploitable.
+package ucode
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/power"
+)
+
+// Patch identifies a microcode level of the paper's test machine.
+type Patch int
+
+const (
+	// Patch1 is 3.20180312.0ubuntu18.04.1: LSD enabled.
+	Patch1 Patch = iota
+	// Patch2 is 3.20210608.0ubuntu0.18.04.1: LSD disabled.
+	Patch2
+)
+
+// String returns the microcode package version string.
+func (p Patch) String() string {
+	if p == Patch1 {
+		return "patch1 (3.20180312, LSD enabled)"
+	}
+	return "patch2 (3.20210608, LSD disabled)"
+}
+
+// LSDEnabled reports the patch's LSD state.
+func (p Patch) LSDEnabled() bool { return p == Patch1 }
+
+// Observation holds the measurements Figure 10 plots: average timing and
+// power for an instruction-mix-block loop below the LSD capacity and one
+// above it.
+type Observation struct {
+	Patch Patch
+	// SmallLoopCycles is the per-iteration time of a 6-block loop
+	// (30 micro-ops: fits the LSD).
+	SmallLoopCycles float64
+	// LargeLoopCycles is the per-iteration time (normalized per 6
+	// blocks) of an 18-block loop (90 micro-ops: exceeds the LSD).
+	LargeLoopCycles float64
+	// SmallLoopWatts / LargeLoopWatts are the matching RAPL readings.
+	SmallLoopWatts float64
+	LargeLoopWatts float64
+}
+
+// Ratio returns the small/large timing ratio, the detector's timing
+// discriminant: with the LSD enabled the small loop streams from the
+// (slower-for-jump-dense-code) LSD and the ratio exceeds one; with the
+// LSD disabled both loops use the DSB and the ratio is ~1.
+func (o Observation) Ratio() float64 {
+	if o.LargeLoopCycles == 0 {
+		return 0
+	}
+	return o.SmallLoopCycles / o.LargeLoopCycles
+}
+
+// PowerDelta returns largeWatts - smallWatts; with the LSD enabled the
+// small loop draws measurably less power (the LSD's purpose).
+func (o Observation) PowerDelta() float64 { return o.LargeLoopWatts - o.SmallLoopWatts }
+
+const (
+	smallBlocks = 6  // 30 uops <= 64: LSD-eligible
+	largeBlocks = 18 // 90 uops > 64: never LSD
+	iters       = 400
+)
+
+// Observe measures the Figure 10 quantities on a machine running the
+// given patch.
+func Observe(model cpu.Model, p Patch, seed uint64) Observation {
+	m := model.WithLSD(p.LSDEnabled())
+	core := cpu.NewCore(m, seed)
+
+	measure := func(nBlocks int, sets []int) (cyclesPerBlock, watts float64) {
+		blocks := make([]*isa.Block, 0, nBlocks)
+		per := nBlocks / len(sets)
+		for _, set := range sets {
+			for w := 0; w < per; w++ {
+				blocks = append(blocks, isa.MixBlock(isa.AddrForSet(set, w)))
+			}
+		}
+		isa.ChainLoop(blocks)
+		// Warmup pass so the DSB is filled before the measurement.
+		core.Enqueue(0, isa.NewLoopStream(blocks, 5), nil)
+		core.RunUntilIdle(10_000_000)
+		e0 := core.PM.TrueEnergy()
+		c0 := core.Cycle()
+		t := core.RunTimedTight(0, isa.NewLoopStream(blocks, iters))
+		watts = power.AvgWatts(core.PM.TrueEnergy()-e0, core.Cycle()-c0)
+		cyclesPerBlock = t / float64(iters) / float64(nBlocks)
+		return cyclesPerBlock, watts
+	}
+
+	// Small loop: 6 blocks in one set. Large loop: 18 blocks over three
+	// sets (6 ways each, no DSB thrash), so the only difference is
+	// whether the LSD can hold the loop.
+	sc, sw := measure(smallBlocks, []int{3})
+	lc, lw := measure(largeBlocks, []int{9, 14, 27})
+	return Observation{Patch: p, SmallLoopCycles: sc, LargeLoopCycles: lc, SmallLoopWatts: sw, LargeLoopWatts: lw}
+}
+
+// DetectByTiming classifies the running microcode from the timing
+// discriminant alone — the paper's "more reliable indicator".
+func DetectByTiming(model cpu.Model, actual Patch, seed uint64) Patch {
+	o := Observe(model, actual, seed)
+	if o.Ratio() > 1.35 {
+		return Patch1
+	}
+	return Patch2
+}
+
+// DetectByPower classifies from the power discriminant.
+func DetectByPower(model cpu.Model, actual Patch, seed uint64) Patch {
+	o := Observe(model, actual, seed)
+	if o.PowerDelta() > 1.0 {
+		return Patch1
+	}
+	return Patch2
+}
+
+// Fingerprint runs both detectors and reports agreement.
+func Fingerprint(model cpu.Model, actual Patch, seed uint64) (timing, pwr Patch, err error) {
+	timing = DetectByTiming(model, actual, seed)
+	pwr = DetectByPower(model, actual, seed+1)
+	if timing != pwr {
+		return timing, pwr, fmt.Errorf("ucode: detectors disagree (timing=%v, power=%v); timing is the reliable one", timing, pwr)
+	}
+	return timing, pwr, nil
+}

@@ -1,0 +1,65 @@
+package ucode
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestObservationShape(t *testing.T) {
+	o1 := Observe(cpu.Gold6226(), Patch1, 1)
+	o2 := Observe(cpu.Gold6226(), Patch2, 1)
+	t.Logf("patch1: small=%.2f large=%.2f cyc/block, watts %.1f/%.1f",
+		o1.SmallLoopCycles, o1.LargeLoopCycles, o1.SmallLoopWatts, o1.LargeLoopWatts)
+	t.Logf("patch2: small=%.2f large=%.2f cyc/block, watts %.1f/%.1f",
+		o2.SmallLoopCycles, o2.LargeLoopCycles, o2.SmallLoopWatts, o2.LargeLoopWatts)
+	// Figure 10: with the LSD enabled the small loop behaves differently
+	// from the large one; with it disabled they match.
+	if o1.Ratio() < 1.3 {
+		t.Errorf("patch1 timing ratio %.2f: LSD-enabled small loop should differ", o1.Ratio())
+	}
+	if o2.Ratio() > 1.15 {
+		t.Errorf("patch2 timing ratio %.2f: without LSD, loops should match", o2.Ratio())
+	}
+	// Power: LSD saves power on the small loop only under patch1.
+	if o1.PowerDelta() <= o2.PowerDelta() {
+		t.Errorf("patch1 power delta %.2f should exceed patch2's %.2f", o1.PowerDelta(), o2.PowerDelta())
+	}
+}
+
+func TestDetectByTiming(t *testing.T) {
+	for _, p := range []Patch{Patch1, Patch2} {
+		if got := DetectByTiming(cpu.Gold6226(), p, 7); got != p {
+			t.Errorf("timing detector: got %v, want %v", got, p)
+		}
+	}
+}
+
+func TestDetectByPower(t *testing.T) {
+	for _, p := range []Patch{Patch1, Patch2} {
+		if got := DetectByPower(cpu.Gold6226(), p, 7); got != p {
+			t.Errorf("power detector: got %v, want %v", got, p)
+		}
+	}
+}
+
+func TestFingerprintAgreement(t *testing.T) {
+	for _, p := range []Patch{Patch1, Patch2} {
+		timing, pwr, err := Fingerprint(cpu.Gold6226(), p, 3)
+		if err != nil {
+			t.Errorf("detectors disagree for %v: %v", p, err)
+		}
+		if timing != p || pwr != p {
+			t.Errorf("fingerprint(%v) = (%v, %v)", p, timing, pwr)
+		}
+	}
+}
+
+func TestPatchStrings(t *testing.T) {
+	if !Patch1.LSDEnabled() || Patch2.LSDEnabled() {
+		t.Error("patch LSD states wrong")
+	}
+	if Patch1.String() == Patch2.String() {
+		t.Error("patch strings must differ")
+	}
+}

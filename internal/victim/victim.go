@@ -1,0 +1,142 @@
+// Package victim models the workloads the paper fingerprints through the
+// frontend side channel (Section XI): ten Geekbench5-style mobile
+// workloads and four CNN inference models from TVM (AlexNet, SqueezeNet,
+// VGG, DenseNet).
+//
+// What the side channel observes is the victim's time-varying pressure on
+// the shared MITE decoder: phases whose code footprint exceeds the
+// (partitioned) DSB keep the legacy decode path busy and slow the
+// attacker's co-resident nop loop; small-footprint phases do not. Each
+// workload is therefore modelled as its phase schedule: a sequence of
+// (code footprint, duration) pairs per layer or kernel. The *shape* of
+// that schedule is what makes a workload identifiable (Figure 11).
+package victim
+
+import "repro/internal/isa"
+
+// Phase is one execution phase: a code footprint in 32-byte windows and
+// a duration in side-channel sample periods.
+type Phase struct {
+	// Windows is the hot code size in 32-byte windows. Footprints above
+	// the thread's partitioned DSB share (16 sets x 8 ways = 128
+	// windows) decode through MITE and press on the shared frontend.
+	Windows int
+	// Samples is the phase duration in attacker sample periods.
+	Samples int
+}
+
+// Workload is a named phase schedule.
+type Workload struct {
+	Name   string
+	Phases []Phase
+
+	// base is the workload's code region; distinct per workload so DSB
+	// and L1I state differ realistically between victims.
+	base uint64
+
+	blocks map[int][]*isa.Block
+}
+
+// PhaseBlocks builds (and caches) the chained code blocks for phase i.
+func (w *Workload) PhaseBlocks(i int) []*isa.Block {
+	if w.blocks == nil {
+		w.blocks = make(map[int][]*isa.Block)
+	}
+	if b, ok := w.blocks[i]; ok {
+		return b
+	}
+	ph := w.Phases[i%len(w.Phases)]
+	n := ph.Windows
+	if n < 2 {
+		n = 2
+	}
+	blocks := make([]*isa.Block, n)
+	for j := 0; j < n; j++ {
+		blocks[j] = isa.MixBlock(w.base + uint64(j)*isa.WindowBytes)
+	}
+	isa.ChainLoop(blocks)
+	w.blocks[i] = blocks
+	return blocks
+}
+
+// TotalSamples returns the schedule length in samples.
+func (w *Workload) TotalSamples() int {
+	n := 0
+	for _, p := range w.Phases {
+		n += p.Samples
+	}
+	return n
+}
+
+// workload bases are spaced 1 MB apart.
+const baseStep = 1 << 20
+const firstBase = 0x0100_0000
+
+func mk(name string, idx int, phases []Phase) Workload {
+	return Workload{Name: name, Phases: phases, base: firstBase + uint64(idx)*baseStep}
+}
+
+// CNNs returns the four TVM inference models of Figure 11. Layer
+// schedules reflect each architecture's signature: AlexNet's few large
+// conv layers, SqueezeNet's many small fire modules, VGG's long uniform
+// stacks, DenseNet's ramping dense blocks.
+func CNNs() []Workload {
+	return []Workload{
+		mk("AlexNet", 0, []Phase{
+			{Windows: 700, Samples: 14}, {Windows: 90, Samples: 4},
+			{Windows: 520, Samples: 11}, {Windows: 80, Samples: 4},
+			{Windows: 380, Samples: 9}, {Windows: 300, Samples: 8},
+			{Windows: 260, Samples: 7}, {Windows: 60, Samples: 5},
+			{Windows: 450, Samples: 12}, {Windows: 70, Samples: 6},
+		}),
+		mk("SqueezeNet", 1, []Phase{
+			{Windows: 200, Samples: 3}, {Windows: 60, Samples: 2},
+			{Windows: 240, Samples: 3}, {Windows: 70, Samples: 2},
+			{Windows: 180, Samples: 3}, {Windows: 50, Samples: 2},
+			{Windows: 260, Samples: 4}, {Windows: 60, Samples: 2},
+			{Windows: 220, Samples: 3}, {Windows: 40, Samples: 2},
+		}),
+		mk("VGG", 2, []Phase{
+			{Windows: 640, Samples: 22}, {Windows: 600, Samples: 20},
+			{Windows: 560, Samples: 18}, {Windows: 110, Samples: 3},
+			{Windows: 620, Samples: 21}, {Windows: 90, Samples: 3},
+		}),
+		mk("DenseNet", 3, []Phase{
+			{Windows: 140, Samples: 4}, {Windows: 220, Samples: 5},
+			{Windows: 320, Samples: 6}, {Windows: 430, Samples: 7},
+			{Windows: 560, Samples: 8}, {Windows: 90, Samples: 3},
+			{Windows: 160, Samples: 4}, {Windows: 280, Samples: 5},
+			{Windows: 400, Samples: 7}, {Windows: 60, Samples: 3},
+		}),
+	}
+}
+
+// Geekbench returns ten mobile-benchmark-style workloads (Section XI-B):
+// the suite spans camera, navigation, speech, compression, and similar
+// kernels with widely differing code footprints and phase rhythms —
+// which is why the paper observes a much larger inter-workload distance
+// for this suite (4.793) than for the structurally similar CNNs (1.937).
+func Geekbench() []Workload {
+	return []Workload{
+		mk("Camera", 10, []Phase{{Windows: 760, Samples: 18}, {Windows: 120, Samples: 6}, {Windows: 680, Samples: 16}}),
+		mk("Navigation", 11, []Phase{{Windows: 60, Samples: 9}, {Windows: 340, Samples: 5}, {Windows: 80, Samples: 10}}),
+		mk("SpeechRec", 12, []Phase{{Windows: 420, Samples: 7}, {Windows: 440, Samples: 8}, {Windows: 100, Samples: 2}}),
+		mk("PhotoLibrary", 13, []Phase{{Windows: 580, Samples: 12}, {Windows: 70, Samples: 12}}),
+		mk("HTML5", 14, []Phase{{Windows: 900, Samples: 25}, {Windows: 150, Samples: 3}}),
+		mk("PDFRender", 15, []Phase{{Windows: 300, Samples: 4}, {Windows: 90, Samples: 4}, {Windows: 520, Samples: 6}}),
+		mk("TextCompress", 16, []Phase{{Windows: 48, Samples: 20}, {Windows: 200, Samples: 4}}),
+		mk("ImageInpaint", 17, []Phase{{Windows: 640, Samples: 9}, {Windows: 380, Samples: 9}, {Windows: 60, Samples: 6}}),
+		mk("RayTrace", 18, []Phase{{Windows: 1000, Samples: 30}}),
+		mk("StructSim", 19, []Phase{{Windows: 130, Samples: 5}, {Windows: 700, Samples: 11}, {Windows: 240, Samples: 8}}),
+	}
+}
+
+// ByName finds a workload in the combined catalog.
+func ByName(name string) (Workload, bool) {
+	for _, w := range append(CNNs(), Geekbench()...) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

@@ -1,0 +1,92 @@
+package victim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestCatalogSizes(t *testing.T) {
+	if got := len(CNNs()); got != 4 {
+		t.Errorf("CNNs = %d, want 4", got)
+	}
+	if got := len(Geekbench()); got != 10 {
+		t.Errorf("Geekbench = %d, want 10", got)
+	}
+}
+
+func TestDistinctBases(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, w := range append(CNNs(), Geekbench()...) {
+		b := w.PhaseBlocks(0)[0].Start()
+		if prev, dup := seen[b]; dup {
+			t.Errorf("%s and %s share code base %#x", w.Name, prev, b)
+		}
+		seen[b] = w.Name
+	}
+}
+
+func TestPhaseBlocksMatchFootprint(t *testing.T) {
+	w := CNNs()[0]
+	for i, ph := range w.Phases {
+		blocks := w.PhaseBlocks(i)
+		want := ph.Windows
+		if want < 2 {
+			want = 2
+		}
+		if len(blocks) != want {
+			t.Errorf("phase %d: %d blocks, want %d", i, len(blocks), want)
+		}
+	}
+}
+
+func TestPhaseBlocksChained(t *testing.T) {
+	blocks := Geekbench()[0].PhaseBlocks(0)
+	last := blocks[len(blocks)-1]
+	if last.Insts[len(last.Insts)-1].Target != blocks[0].Start() {
+		t.Error("phase blocks must loop")
+	}
+}
+
+func TestPhaseBlocksCached(t *testing.T) {
+	w := CNNs()[1]
+	a := w.PhaseBlocks(0)
+	b := w.PhaseBlocks(0)
+	if &a[0] != &b[0] {
+		t.Error("phase blocks not cached")
+	}
+}
+
+func TestHeavyPhasesExceedPartitionedDSB(t *testing.T) {
+	// At least one phase per CNN must exceed the partitioned DSB share
+	// (128 windows) or the workload would be invisible to the channel.
+	for _, w := range CNNs() {
+		heavy := false
+		for _, p := range w.Phases {
+			if p.Windows > 128 {
+				heavy = true
+			}
+		}
+		if !heavy {
+			t.Errorf("%s has no MITE-pressure phase", w.Name)
+		}
+	}
+}
+
+func TestWindowsAreConsecutive(t *testing.T) {
+	blocks := CNNs()[2].PhaseBlocks(0)
+	for i := 1; i < len(blocks); i++ {
+		if isa.Window(blocks[i].Start()) != isa.Window(blocks[i-1].Start())+1 {
+			t.Fatalf("blocks %d/%d not window-consecutive", i-1, i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if w, ok := ByName("DenseNet"); !ok || w.Name != "DenseNet" {
+		t.Error("DenseNet lookup failed")
+	}
+	if _, ok := ByName("missing"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}

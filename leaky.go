@@ -1,0 +1,228 @@
+// Package leaky is the public API of the Leaky Frontends reproduction: a
+// deterministic, cycle-level simulation of the Intel processor frontend
+// (MITE, DSB, LSD) together with every attack from "Leaky Frontends:
+// Security Vulnerabilities in Processor Frontends" (HPCA 2022) — timing
+// and power covert channels, SGX leakage, a frontend Spectre v1 variant,
+// microcode patch fingerprinting, and the application-fingerprinting
+// side channel.
+//
+// Quick start:
+//
+//	m := leaky.Gold6226()
+//	ch := leaky.NewFastCovertChannel(m, leaky.Misalignment)
+//	res := leaky.Transmit(ch, m.Name, "010110")
+//	fmt.Println(res.RateKbps, res.ErrorRate)
+//
+// The full evaluation (every table and figure of the paper) is exposed
+// through the Experiments type; see cmd/leakyfe for a command-line
+// driver.
+package leaky
+
+import (
+	"repro/internal/attack"
+	"repro/internal/channel"
+	"repro/internal/cpu"
+	"repro/internal/defense"
+	"repro/internal/experiments"
+	"repro/internal/fingerprint"
+	"repro/internal/sgx"
+	"repro/internal/spectre"
+	"repro/internal/ucode"
+	"repro/internal/victim"
+)
+
+// Model is a simulated CPU model (Table I).
+type Model = cpu.Model
+
+// Models returns the Table I catalog.
+func Models() []Model { return cpu.Models() }
+
+// ModelByName looks a model up by its Table I name.
+func ModelByName(name string) (Model, bool) { return cpu.ModelByName(name) }
+
+// Gold6226 returns the Intel Xeon Gold 6226 model.
+func Gold6226() Model { return cpu.Gold6226() }
+
+// XeonE2174G returns the Intel Xeon E-2174G model.
+func XeonE2174G() Model { return cpu.XeonE2174G() }
+
+// XeonE2286G returns the Intel Xeon E-2286G model.
+func XeonE2286G() Model { return cpu.XeonE2286G() }
+
+// XeonE2288G returns the Intel Xeon E-2288G model.
+func XeonE2288G() Model { return cpu.XeonE2288G() }
+
+// AttackKind selects the frontend mechanism a covert channel modulates.
+type AttackKind = attack.Kind
+
+// Attack kinds.
+const (
+	Eviction     = attack.Eviction
+	Misalignment = attack.Misalignment
+)
+
+// Channel is a covert channel that transmits one bit at a time.
+type Channel = channel.BitChannel
+
+// Result summarizes a covert transmission.
+type Result = channel.Result
+
+// Transmit sends a bit-string message over a channel and reports the
+// transmission and error rates, calibrating the decode threshold on an
+// alternating preamble first.
+func Transmit(ch Channel, modelName, message string) Result {
+	return channel.Transmit(ch, modelName, message, 40)
+}
+
+// NewFastCovertChannel builds the paper's fastest configuration: the
+// non-MT "fast" channel (bit 0 sends nothing) for the given mechanism.
+func NewFastCovertChannel(m Model, kind AttackKind) Channel {
+	return attack.NewNonMT(attack.DefaultNonMT(m, kind, false))
+}
+
+// NewStealthyCovertChannel builds the non-MT "stealthy" variant (bit 0
+// executes decoy blocks).
+func NewStealthyCovertChannel(m Model, kind AttackKind) Channel {
+	return attack.NewNonMT(attack.DefaultNonMT(m, kind, true))
+}
+
+// NewMTCovertChannel builds the cross-hyper-thread channel. It panics if
+// the model has hyper-threading disabled.
+func NewMTCovertChannel(m Model, kind AttackKind) Channel {
+	return attack.NewMT(attack.DefaultMT(m, kind))
+}
+
+// NewSlowSwitchChannel builds the LCP slow-switch channel.
+func NewSlowSwitchChannel(m Model) Channel {
+	return attack.NewSlowSwitch(attack.DefaultSlowSwitch(m))
+}
+
+// NewPowerChannel builds the RAPL power covert channel.
+func NewPowerChannel(m Model, kind AttackKind) Channel {
+	return attack.NewPower(attack.DefaultPower(m, kind))
+}
+
+// NewSGXChannel builds the non-MT SGX covert channel (sender inside an
+// enclave). It panics if the model lacks SGX.
+func NewSGXChannel(m Model, kind AttackKind, stealthy bool) Channel {
+	return sgx.NewNonMT(attack.DefaultNonMT(m, kind, stealthy))
+}
+
+// NewSGXMTChannel builds the MT SGX covert channel.
+func NewSGXMTChannel(m Model, kind AttackKind) Channel {
+	return sgx.NewMT(attack.DefaultMT(m, kind))
+}
+
+// Alternating, AllZeros, AllOnes build test messages.
+var (
+	Alternating = channel.Alternating
+	AllZeros    = channel.AllZeros
+	AllOnes     = channel.AllOnes
+)
+
+// SpectreChannel selects the Spectre exfiltration channel.
+type SpectreChannel = spectre.Channel
+
+// Spectre channels.
+const (
+	SpectreFrontend = spectre.Frontend
+	SpectreL1IFR    = spectre.L1IFlushReload
+	SpectreL1IPP    = spectre.L1IPrimeProbe
+	SpectreMemFR    = spectre.MemFlushReload
+	SpectreL1DFR    = spectre.L1DFlushReload
+	SpectreL1DLRU   = spectre.L1DLRU
+)
+
+// SpectreResult reports a Spectre leak run.
+type SpectreResult = spectre.Result
+
+// RunSpectre leaks a secret through the chosen channel and reports
+// accuracy and L1 miss-rate footprint (Table VII's metric).
+func RunSpectre(ch SpectreChannel, secret []byte) SpectreResult {
+	return spectre.NewLab(spectre.DefaultConfig(ch)).Leak(secret)
+}
+
+// MicrocodePatch identifies a microcode level (Section X).
+type MicrocodePatch = ucode.Patch
+
+// Microcode patches of the paper's Gold 6226.
+const (
+	Patch1 = ucode.Patch1 // LSD enabled
+	Patch2 = ucode.Patch2 // LSD disabled
+)
+
+// DetectMicrocode fingerprints the running patch through frontend
+// timing.
+func DetectMicrocode(m Model, actual MicrocodePatch) MicrocodePatch {
+	return ucode.DetectByTiming(m, actual, 1)
+}
+
+// Workload is a fingerprintable victim workload.
+type Workload = victim.Workload
+
+// CNNWorkloads returns the four CNN victims of Figure 11.
+func CNNWorkloads() []Workload { return victim.CNNs() }
+
+// GeekbenchWorkloads returns the ten mobile workloads of Section XI-B.
+func GeekbenchWorkloads() []Workload { return victim.Geekbench() }
+
+// FingerprintTrace records the attacker's IPC trace while the victim
+// runs on the sibling hardware thread.
+func FingerprintTrace(m Model, w Workload, seed uint64) []float64 {
+	cfg := fingerprint.DefaultConfig(m)
+	cfg.Seed = seed
+	return fingerprint.Trace(cfg, w)
+}
+
+// ClassifyTrace matches an observed IPC trace against references.
+func ClassifyTrace(observed []float64, refs [][]float64) int {
+	return fingerprint.Classify(observed, refs)
+}
+
+// Defense ablations (Section XII): apply a countermeasure to a model and
+// re-run the attacks against it.
+var (
+	// DisableSMT turns hyper-threading off, eliminating all MT attacks.
+	DisableSMT = defense.DisableSMT
+	// EqualizePaths removes the frontend's timing signatures by slowing
+	// the fast paths to MITE's pace — closing the same-work channels at
+	// a throughput cost.
+	EqualizePaths = defense.EqualizePaths
+	// DisableRAPL removes the power channel's measurement surface.
+	DisableRAPL = defense.DisableRAPL
+)
+
+// DefenseResidualError re-runs the stealthy eviction channel against a
+// (possibly defended) model and returns the residual error rate; ~0.5
+// means the channel is closed.
+func DefenseResidualError(m Model, bits int) float64 {
+	return defense.NonMTResidualError(m, bits, 1)
+}
+
+// DefenseCost returns the relative slowdown of a defended model on a
+// DSB-friendly workload.
+func DefenseCost(base, defended Model) float64 {
+	return defense.PerformanceCost(base, defended, 1)
+}
+
+// ExperimentOpts scales the paper-reproduction experiments.
+type ExperimentOpts = experiments.Opts
+
+// Experiment runners: each regenerates one table or figure of the paper
+// and returns its formatted rendering.
+var (
+	TableI   = experiments.TableI
+	Figure2  = experiments.Figure2
+	Figure4  = experiments.Figure4
+	TableII  = experiments.TableII
+	TableIII = experiments.TableIII
+	TableIV  = experiments.TableIV
+	TableV   = experiments.TableV
+	TableVI  = experiments.TableVI
+	TableVII = experiments.TableVII
+	Figure8  = experiments.Figure8
+	Figure9  = experiments.Figure9
+	Figure10 = experiments.Figure10
+	Figure11 = experiments.Figure11
+	Figure12 = experiments.Figure12
+)

@@ -1,0 +1,61 @@
+package leaky_test
+
+import (
+	"strings"
+	"testing"
+
+	leaky "repro"
+)
+
+func TestFacadeModels(t *testing.T) {
+	if len(leaky.Models()) != 4 {
+		t.Fatal("want 4 models")
+	}
+	if _, ok := leaky.ModelByName("Gold 6226"); !ok {
+		t.Error("Gold 6226 missing")
+	}
+	if !strings.Contains(leaky.TableI(), "Cascade Lake") {
+		t.Error("TableI incomplete")
+	}
+}
+
+func TestFacadeChannelRoundTrip(t *testing.T) {
+	m := leaky.XeonE2288G()
+	ch := leaky.NewFastCovertChannel(m, leaky.Eviction)
+	res := leaky.Transmit(ch, m.Name, leaky.Alternating(80))
+	if res.ErrorRate > 0.1 {
+		t.Errorf("fast channel error %.1f%%", 100*res.ErrorRate)
+	}
+	if res.RateKbps < 100 {
+		t.Errorf("rate %.1f Kbps too low", res.RateKbps)
+	}
+}
+
+func TestFacadeSpectre(t *testing.T) {
+	res := leaky.RunSpectre(leaky.SpectreFrontend, []byte{5, 19})
+	if res.L1DMiss != 0 {
+		t.Error("frontend Spectre must not touch L1D")
+	}
+}
+
+func TestFacadeMicrocode(t *testing.T) {
+	m := leaky.Gold6226()
+	if leaky.DetectMicrocode(m, leaky.Patch1) != leaky.Patch1 {
+		t.Error("patch1 not detected")
+	}
+	if leaky.DetectMicrocode(m, leaky.Patch2) != leaky.Patch2 {
+		t.Error("patch2 not detected")
+	}
+}
+
+func TestFacadeFingerprint(t *testing.T) {
+	m := leaky.Gold6226()
+	suite := leaky.CNNWorkloads()
+	tr := leaky.FingerprintTrace(m, suite[0], 3)
+	if len(tr) != 100 {
+		t.Errorf("trace length %d", len(tr))
+	}
+	if len(leaky.GeekbenchWorkloads()) != 10 {
+		t.Error("want 10 Geekbench workloads")
+	}
+}
