@@ -158,6 +158,27 @@ func BenchmarkFigure12_Distances(b *testing.B) {
 	}
 }
 
+// runnerBench measures the registry runner end-to-end on a cheap artifact
+// subset; comparing the Serial and Parallel variants shows the worker
+// pool's wall-clock win without changing any output byte.
+func runnerBench(b *testing.B, workers int) {
+	b.Helper()
+	patterns := []string{"tableI", "figure2", "figure4", "tableIV", "figure10"}
+	o := leaky.ExperimentOpts{Bits: 60, Seed: 1, Samples: 30}
+	for i := 0; i < b.N; i++ {
+		results, err := leaky.RunExperiments(patterns, o, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(patterns) {
+			b.Fatalf("ran %d artifacts, want %d", len(results), len(patterns))
+		}
+	}
+}
+
+func BenchmarkRunner_FastSubsetSerial(b *testing.B)    { runnerBench(b, 1) }
+func BenchmarkRunner_FastSubsetParallel4(b *testing.B) { runnerBench(b, 4) }
+
 func BenchmarkAblation_Defenses(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		base := leaky.XeonE2288G()

@@ -1,75 +1,77 @@
 // Command leakyfe regenerates the paper's evaluation: every table and
-// figure of "Leaky Frontends" (HPCA 2022) on the simulated frontend.
+// figure of "Leaky Frontends" (HPCA 2022) on the simulated frontend,
+// driven through the experiment registry.
 //
 // Usage:
 //
 //	leakyfe -list
-//	leakyfe -run all
-//	leakyfe -run tableIII -bits 400
+//	leakyfe -run all -parallel 4 -timing
+//	leakyfe -run 'table*' -json
+//	leakyfe -run tableIII,figure8 -bits 400
+//
+// The -run flag takes a comma-separated list of experiment names as
+// printed by -list, matched case-insensitively ("TABLEiii" works), or
+// shell-style globs ("figure*"). Unknown names are rejected before any
+// experiment runs. Artifacts execute on -parallel worker goroutines with
+// per-artifact seeds split from -seed, so the rendered artifact text is
+// byte-identical for every -parallel value; tables print incrementally
+// as their catalog-order prefix completes. (JSON output additionally
+// embeds per-artifact wall-clock timings, which vary run to run.)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	leaky "repro"
+	"repro/internal/experiments"
 )
-
-type experiment struct {
-	name string
-	desc string
-	run  func(leaky.ExperimentOpts) string
-}
-
-func catalog() []experiment {
-	return []experiment{
-		{"tableI", "tested CPU models", func(leaky.ExperimentOpts) string { return leaky.TableI() }},
-		{"figure2", "frontend path timing histogram", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure2(o); return s }},
-		{"figure4", "LCP mixed vs ordered issue", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure4(o); return s }},
-		{"tableII", "MT eviction channel by message pattern", func(o leaky.ExperimentOpts) string { _, s := leaky.TableII(o); return s }},
-		{"tableIII", "covert-channel matrix", func(o leaky.ExperimentOpts) string { _, s := leaky.TableIII(o); return s }},
-		{"tableIV", "slow-switch channel", func(o leaky.ExperimentOpts) string { _, s := leaky.TableIV(o); return s }},
-		{"tableV", "power channels", func(o leaky.ExperimentOpts) string { _, s := leaky.TableV(o); return s }},
-		{"tableVI", "SGX channels", func(o leaky.ExperimentOpts) string { _, s := leaky.TableVI(o); return s }},
-		{"tableVII", "Spectre v1 L1 miss rates", func(o leaky.ExperimentOpts) string { _, s := leaky.TableVII(o); return s }},
-		{"figure8", "MT eviction d sweep", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure8(o); return s }},
-		{"figure9", "per-path power histogram", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure9(o); return s }},
-		{"figure10", "microcode patch fingerprinting", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure10(o); return s }},
-		{"figure11", "CNN fingerprinting IPC traces", func(o leaky.ExperimentOpts) string { _, s := leaky.Figure11(o); return s }},
-		{"figure12", "fingerprinting distances", func(o leaky.ExperimentOpts) string { _, _, s := leaky.Figure12(o); return s }},
-	}
-}
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list experiments")
-		run  = flag.String("run", "all", "experiment to run (or 'all')")
-		bits = flag.Int("bits", 200, "covert-channel message length")
-		seed = flag.Uint64("seed", 1, "deterministic seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "all", "comma-separated experiment names or globs (case-insensitive), or 'all'")
+		bits     = flag.Int("bits", 200, "covert-channel message length")
+		seed     = flag.Uint64("seed", 1, "top-level deterministic seed")
+		samples  = flag.Int("samples", 100, "fingerprint trace length (figures 11/12)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "max experiments in flight (artifact text is identical for any value)")
+		jsonOut  = flag.Bool("json", false, "emit structured JSON results instead of rendered tables")
+		timing   = flag.Bool("timing", false, "append per-artifact wall-clock timings (text mode)")
 	)
 	flag.Parse()
 
-	exps := catalog()
 	if *list {
-		for _, e := range exps {
-			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		for _, a := range leaky.Experiments() {
+			fmt.Printf("%-10s %-10s %s\n", a.Name, a.Ref, a.Desc)
 		}
 		return
 	}
-	o := leaky.ExperimentOpts{Bits: *bits, Seed: *seed}
-	ran := 0
-	for _, e := range exps {
-		if *run != "all" && !strings.EqualFold(e.name, *run) {
-			continue
-		}
-		fmt.Println(e.run(o))
-		fmt.Println()
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+
+	o := leaky.ExperimentOpts{Bits: *bits, Seed: *seed, Samples: *samples}
+	arts, err := experiments.Default().Select(strings.Split(*run, ",")...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	rn := experiments.Runner{Opts: o, Workers: *parallel}
+	if *jsonOut {
+		b, err := experiments.RenderJSON(rn.Run(arts))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leakyfe: encoding results: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return
+	}
+	// Stream each table as soon as its catalog-order prefix completes;
+	// the concatenation is byte-identical to a buffered RenderText.
+	results := rn.RunEmit(arts, func(r leaky.ExperimentResult) {
+		fmt.Print(experiments.RenderText([]experiments.Result{r}, false))
+	})
+	if *timing {
+		fmt.Print(experiments.RenderTimings(results))
 	}
 }

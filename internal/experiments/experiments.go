@@ -1,9 +1,13 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation: each exported function reproduces one artifact and returns
-// both structured data and a formatted table matching the paper's layout.
-// The cmd/leakyfe binary and the repository's benchmark suite are thin
-// wrappers around this package; EXPERIMENTS.md records paper-vs-measured
-// for each entry.
+// evaluation. Each artifact is described by an Artifact entry in the
+// Default registry (name, paper reference, run function returning
+// structured data plus a formatted table matching the paper's layout),
+// and a Runner executes selected artifacts on a bounded worker pool with
+// per-artifact seed derivation, so parallel runs are bit-identical to
+// serial ones. The typed per-artifact functions (TableI .. Figure12)
+// remain the implementations behind the registry. The cmd/leakyfe binary
+// and the repository's benchmark suite are thin wrappers around this
+// package.
 package experiments
 
 import (
@@ -27,12 +31,13 @@ import (
 // Opts sets the experiment scale. Defaults reproduce the paper's shapes
 // in seconds; raise Bits for tighter error-rate estimates.
 type Opts struct {
-	Bits int    // covert-channel message length
-	Seed uint64 // deterministic seed
+	Bits    int    // covert-channel message length
+	Seed    uint64 // deterministic seed
+	Samples int    // fingerprint trace length (Figures 11/12); 0 means the paper's 100
 }
 
 // DefaultOpts returns the standard scale.
-func DefaultOpts() Opts { return Opts{Bits: 200, Seed: 1} }
+func DefaultOpts() Opts { return Opts{Bits: 200, Seed: 1, Samples: 100} }
 
 func (o Opts) orDefault() Opts {
 	if o.Bits <= 0 {
@@ -40,6 +45,9 @@ func (o Opts) orDefault() Opts {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Samples <= 0 {
+		o.Samples = 100
 	}
 	return o
 }
@@ -436,6 +444,7 @@ func Figure11(o Opts) (map[string][]float64, string) {
 	o = o.orDefault()
 	cfg := fingerprint.DefaultConfig(cpu.Gold6226())
 	cfg.Seed = o.Seed
+	cfg.Samples = o.Samples
 	base := fingerprint.BaselineIPC(cfg)
 	traces := map[string][]float64{}
 	var b strings.Builder
@@ -449,12 +458,19 @@ func Figure11(o Opts) (map[string][]float64, string) {
 	return traces, b.String()
 }
 
+// Figure12Data pairs the two distance studies for structured output.
+type Figure12Data struct {
+	CNN       fingerprint.Distances
+	Geekbench fingerprint.Distances
+}
+
 // Figure12 reproduces the inter/intra distance study for the CNNs plus
 // the Geekbench suite statistic of Section XI-B.
 func Figure12(o Opts) (cnn, gb fingerprint.Distances, rendered string) {
 	o = o.orDefault()
 	cfg := fingerprint.DefaultConfig(cpu.Gold6226())
 	cfg.Seed = o.Seed
+	cfg.Samples = o.Samples
 	cnn = fingerprint.Study(cfg, victim.CNNs())
 	gb = fingerprint.Study(cfg, victim.Geekbench())
 	var b strings.Builder

@@ -7,7 +7,14 @@ import (
 	"repro/internal/stats"
 )
 
-func small() Opts { return Opts{Bits: 60, Seed: 1} }
+// small returns the test scale: reduced-but-representative by default,
+// further trimmed under -short so the tier-1 loop stays fast.
+func small() Opts {
+	if testing.Short() {
+		return Opts{Bits: 30, Seed: 1}
+	}
+	return Opts{Bits: 60, Seed: 1}
+}
 
 func TestTableI(t *testing.T) {
 	s := TableI()
@@ -146,13 +153,18 @@ func TestFigure10Detects(t *testing.T) {
 }
 
 func TestFigure11Traces(t *testing.T) {
-	traces, _ := Figure11(small())
+	o := small()
+	want := 100
+	if testing.Short() {
+		o.Samples, want = 40, 40
+	}
+	traces, _ := Figure11(o)
 	if len(traces) != 4 {
 		t.Fatalf("want 4 CNN traces")
 	}
 	for name, tr := range traces {
-		if len(tr) != 100 {
-			t.Errorf("%s trace length %d", name, len(tr))
+		if len(tr) != want {
+			t.Errorf("%s trace length %d, want %d", name, len(tr), want)
 		}
 	}
 }

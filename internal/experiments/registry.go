@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// Artifact describes one reproducible unit of the paper's evaluation: a
+// table or figure with a stable selector name, the paper reference it
+// regenerates, and a run function returning both structured data and the
+// rendered table text.
+type Artifact struct {
+	Name string // canonical selector, e.g. "tableIII"
+	Ref  string // paper reference, e.g. "Table III"
+	Desc string // one-line description
+	Run  func(Opts) (any, string)
+}
+
+// Registry is an ordered, name-indexed catalog of artifacts. Lookups are
+// case-insensitive; iteration order is registration order.
+type Registry struct {
+	arts   []Artifact
+	byName map[string]int
+}
+
+// NewRegistry builds a registry from the given artifacts. It panics on a
+// duplicate or empty name: the catalog is program text, so a collision is
+// a programming error.
+func NewRegistry(arts ...Artifact) *Registry {
+	r := &Registry{byName: make(map[string]int, len(arts))}
+	for _, a := range arts {
+		key := strings.ToLower(a.Name)
+		if key == "" {
+			panic("experiments: artifact with empty name")
+		}
+		if _, dup := r.byName[key]; dup {
+			panic("experiments: duplicate artifact " + a.Name)
+		}
+		r.byName[key] = len(r.arts)
+		r.arts = append(r.arts, a)
+	}
+	return r
+}
+
+// Artifacts returns the catalog in registration order.
+func (r *Registry) Artifacts() []Artifact {
+	out := make([]Artifact, len(r.arts))
+	copy(out, r.arts)
+	return out
+}
+
+// Len returns the number of registered artifacts.
+func (r *Registry) Len() int { return len(r.arts) }
+
+// Get looks an artifact up by name, case-insensitively.
+func (r *Registry) Get(name string) (Artifact, bool) {
+	i, ok := r.byName[strings.ToLower(name)]
+	if !ok {
+		return Artifact{}, false
+	}
+	return r.arts[i], true
+}
+
+// Select resolves name patterns to artifacts before anything runs. Each
+// pattern is "all", an artifact name, or a shell-style glob ("table*"),
+// all matched case-insensitively. Empty patterns (e.g. from a trailing
+// comma in a CLI list) are ignored. The result is deduplicated and in
+// catalog order. A pattern that matches nothing is an error, so a typo
+// is reported up front instead of after a partial run.
+func (r *Registry) Select(patterns ...string) ([]Artifact, error) {
+	picked := make([]bool, len(r.arts))
+	selected := false
+	for _, p := range patterns {
+		lp := strings.ToLower(strings.TrimSpace(p))
+		if lp == "" {
+			continue
+		}
+		selected = true
+		if lp == "all" {
+			for i := range picked {
+				picked[i] = true
+			}
+			continue
+		}
+		matched := false
+		for i, a := range r.arts {
+			ok, err := path.Match(lp, strings.ToLower(a.Name))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad pattern %q: %v", p, err)
+			}
+			if ok {
+				picked[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (use -list)", p)
+		}
+	}
+	if !selected {
+		return nil, fmt.Errorf("experiments: no artifact selected")
+	}
+	var out []Artifact
+	for i, ok := range picked {
+		if ok {
+			out = append(out, r.arts[i])
+		}
+	}
+	return out, nil
+}
+
+// wrap adapts a typed experiment function to the registry's uniform run
+// signature, keeping each catalog entry a one-liner where a name/function
+// mismatch is visually obvious.
+func wrap[T any](f func(Opts) (T, string)) func(Opts) (any, string) {
+	return func(o Opts) (any, string) { d, s := f(o); return d, s }
+}
+
+// Default returns the paper's artifact catalog: every table and figure
+// of the evaluation section, in paper order.
+var Default = sync.OnceValue(func() *Registry {
+	return NewRegistry(
+		Artifact{Name: "tableI", Ref: "Table I", Desc: "tested CPU models",
+			Run: func(o Opts) (any, string) { return cpu.Models(), TableI() }},
+		Artifact{Name: "figure2", Ref: "Figure 2", Desc: "frontend path timing histogram", Run: wrap(Figure2)},
+		Artifact{Name: "figure4", Ref: "Figure 4", Desc: "LCP mixed vs ordered issue", Run: wrap(Figure4)},
+		Artifact{Name: "tableII", Ref: "Table II", Desc: "MT eviction channel by message pattern", Run: wrap(TableII)},
+		Artifact{Name: "tableIII", Ref: "Table III", Desc: "covert-channel matrix", Run: wrap(TableIII)},
+		Artifact{Name: "tableIV", Ref: "Table IV", Desc: "slow-switch channel", Run: wrap(TableIV)},
+		Artifact{Name: "tableV", Ref: "Table V", Desc: "power channels", Run: wrap(TableV)},
+		Artifact{Name: "tableVI", Ref: "Table VI", Desc: "SGX channels", Run: wrap(TableVI)},
+		Artifact{Name: "tableVII", Ref: "Table VII", Desc: "Spectre v1 L1 miss rates", Run: wrap(TableVII)},
+		Artifact{Name: "figure8", Ref: "Figure 8", Desc: "MT eviction d sweep", Run: wrap(Figure8)},
+		Artifact{Name: "figure9", Ref: "Figure 9", Desc: "per-path power histogram", Run: wrap(Figure9)},
+		Artifact{Name: "figure10", Ref: "Figure 10", Desc: "microcode patch fingerprinting", Run: wrap(Figure10)},
+		Artifact{Name: "figure11", Ref: "Figure 11", Desc: "CNN fingerprinting IPC traces", Run: wrap(Figure11)},
+		Artifact{Name: "figure12", Ref: "Figure 12", Desc: "fingerprinting distances",
+			Run: func(o Opts) (any, string) {
+				cnn, gb, s := Figure12(o)
+				return Figure12Data{CNN: cnn, Geekbench: gb}, s
+			}},
+	)
+})

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Result records one artifact run: the derived per-artifact seed, the
+// structured data, the rendered table text, and the wall-clock cost.
+type Result struct {
+	Name     string        `json:"name"`
+	Ref      string        `json:"ref"`
+	Desc     string        `json:"desc"`
+	Seed     uint64        `json:"seed"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Rendered string        `json:"rendered"`
+	Data     any           `json:"data,omitempty"`
+}
+
+// Runner executes artifacts on a bounded worker pool. Each artifact runs
+// with a seed split deterministically from the top-level Opts.Seed by
+// artifact name, so results are bit-identical no matter how many workers
+// execute them or in which order they are scheduled.
+type Runner struct {
+	Opts    Opts // base scale; Opts.Seed is the top-level seed
+	Workers int  // max artifacts in flight; <= 0 means 1 (serial)
+}
+
+// ArtifactOpts returns the per-artifact options the runner would use for
+// the named artifact: the base options with the seed split by name.
+func (rn Runner) ArtifactOpts(name string) Opts {
+	o := rn.Opts.orDefault()
+	o.Seed = rng.SplitSeed(o.Seed, name)
+	return o
+}
+
+// Run executes the artifacts and returns results in input order.
+func (rn Runner) Run(arts []Artifact) []Result {
+	return rn.RunEmit(arts, nil)
+}
+
+// RunEmit executes the artifacts and, when emit is non-nil, calls it
+// from the calling goroutine for each result in input order as soon as
+// every earlier artifact has also finished. This streams completed work
+// to the caller (e.g. the CLI printing tables incrementally) without
+// perturbing result order or content.
+func (rn Runner) RunEmit(arts []Artifact, emit func(Result)) []Result {
+	workers := rn.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(arts) {
+		workers = len(arts)
+	}
+	results := make([]Result, len(arts))
+	jobs := make(chan int)
+	completions := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				a := arts[i]
+				ao := rn.ArtifactOpts(a.Name)
+				start := time.Now()
+				data, rendered := a.Run(ao)
+				results[i] = Result{
+					Name: a.Name, Ref: a.Ref, Desc: a.Desc, Seed: ao.Seed,
+					Elapsed: time.Since(start), Rendered: rendered, Data: data,
+				}
+				completions <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range arts {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	done := make([]bool, len(arts))
+	next := 0
+	for finished := 0; finished < len(arts); finished++ {
+		done[<-completions] = true
+		for next < len(arts) && done[next] {
+			if emit != nil {
+				emit(results[next])
+			}
+			next++
+		}
+	}
+	return results
+}
+
+// RenderText concatenates the rendered artifacts in result order,
+// separated by blank lines. With timing enabled it appends a per-artifact
+// wall-clock table; the artifact text itself is unchanged, so timed and
+// untimed runs stay byte-identical over the artifact portion.
+func RenderText(results []Result, timing bool) string {
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r.Rendered)
+		if !strings.HasSuffix(r.Rendered, "\n") {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	if timing {
+		b.WriteString(RenderTimings(results))
+	}
+	return b.String()
+}
+
+// RenderTimings renders the per-artifact wall-clock table alone.
+func RenderTimings(results []Result) string {
+	var b strings.Builder
+	var total time.Duration
+	fmt.Fprintf(&b, "wall-clock per artifact:\n")
+	for _, r := range results {
+		total += r.Elapsed
+		fmt.Fprintf(&b, "  %-10s %10.3fs\n", r.Name, r.Elapsed.Seconds())
+	}
+	fmt.Fprintf(&b, "  %-10s %10.3fs (sum of artifact times)\n", "total", total.Seconds())
+	return b.String()
+}
+
+// RenderJSON marshals the results as an indented JSON array.
+func RenderJSON(results []Result) ([]byte, error) {
+	return json.MarshalIndent(results, "", "  ")
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// fastNames is a registry subset cheap enough to run repeatedly in tests.
+var fastNames = []string{"tableI", "figure2", "figure4", "tableIV", "figure10"}
+
+func fastArtifacts(t *testing.T) []Artifact {
+	t.Helper()
+	arts, err := Default().Select(fastNames...)
+	if err != nil {
+		t.Fatalf("selecting fast subset: %v", err)
+	}
+	return arts
+}
+
+func TestDefaultCatalog(t *testing.T) {
+	reg := Default()
+	if reg.Len() != 14 {
+		t.Fatalf("catalog has %d artifacts, want 14", reg.Len())
+	}
+	for _, a := range reg.Artifacts() {
+		if a.Name == "" || a.Ref == "" || a.Desc == "" || a.Run == nil {
+			t.Errorf("artifact %+v incompletely described", a)
+		}
+	}
+}
+
+func TestGetCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"tableIII", "TABLEIII", "tableiii", "TaBlEiIi"} {
+		a, ok := Default().Get(name)
+		if !ok || a.Name != "tableIII" {
+			t.Errorf("Get(%q) = %q, %v; want tableIII, true", name, a.Name, ok)
+		}
+	}
+	if _, ok := Default().Get("tableVIII"); ok {
+		t.Error("Get(tableVIII) should miss")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	reg := Default()
+	for _, tc := range []struct {
+		patterns []string
+		want     int
+	}{
+		{[]string{"all"}, 14},
+		{[]string{"table*"}, 7},
+		{[]string{"figure*"}, 7},
+		{[]string{"TABLE*", "tableII"}, 7}, // dedup, case-insensitive glob
+		{[]string{"figure1?"}, 3},          // figure10, figure11, figure12
+		{[]string{"tableI"}, 1},            // exact match, not a tableI* prefix
+	} {
+		arts, err := reg.Select(tc.patterns...)
+		if err != nil {
+			t.Errorf("Select(%v): %v", tc.patterns, err)
+			continue
+		}
+		if len(arts) != tc.want {
+			t.Errorf("Select(%v) picked %d artifacts, want %d", tc.patterns, len(arts), tc.want)
+		}
+	}
+}
+
+func TestSelectPreservesCatalogOrder(t *testing.T) {
+	arts, err := Default().Select("figure8", "tableI", "figure2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{arts[0].Name, arts[1].Name, arts[2].Name}
+	want := []string{"tableI", "figure2", "figure8"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selection order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectRejectsUnknownUpFront(t *testing.T) {
+	_, err := Default().Select("tableI", "tableVIII")
+	if err == nil || !strings.Contains(err.Error(), "tableVIII") {
+		t.Fatalf("want error naming the unknown experiment, got %v", err)
+	}
+	if _, err := Default().Select(); err == nil {
+		t.Fatal("empty selection should error")
+	}
+	if _, err := Default().Select("", "  "); err == nil {
+		t.Fatal("all-blank selection should error")
+	}
+	// A trailing comma in a CLI list yields an empty pattern; it is
+	// ignored rather than reported as an unknown experiment.
+	arts, err := Default().Select("tableI", "")
+	if err != nil || len(arts) != 1 {
+		t.Fatalf("Select(tableI, \"\") = %d artifacts, %v; want 1, nil", len(arts), err)
+	}
+}
+
+func TestRunEmitStreamsInOrder(t *testing.T) {
+	const n = 9
+	arts := make([]Artifact, n)
+	for i := range arts {
+		d := time.Duration(n-i) * time.Millisecond // later artifacts finish first
+		arts[i] = Artifact{
+			Name: fmt.Sprintf("fake%d", i), Ref: "-", Desc: "-",
+			Run: func(o Opts) (any, string) {
+				time.Sleep(d)
+				return nil, "x"
+			},
+		}
+	}
+	var emitted []string
+	results := Runner{Opts: Opts{Seed: 1}, Workers: 4}.RunEmit(arts, func(r Result) {
+		emitted = append(emitted, r.Name)
+	})
+	if len(emitted) != n {
+		t.Fatalf("emitted %d results, want %d", len(emitted), n)
+	}
+	for i, name := range emitted {
+		if name != arts[i].Name {
+			t.Fatalf("emission order %v not input order", emitted)
+		}
+		if results[i].Name != arts[i].Name {
+			t.Fatalf("result order broken at %d", i)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	arts := fastArtifacts(t)
+	o := Opts{Bits: 24, Seed: 7, Samples: 20}
+	serial := Runner{Opts: o, Workers: 1}.Run(arts)
+	parallel := Runner{Opts: o, Workers: 4}.Run(arts)
+	if len(serial) != len(arts) || len(parallel) != len(arts) {
+		t.Fatalf("result counts %d/%d, want %d", len(serial), len(parallel), len(arts))
+	}
+	for i := range serial {
+		if serial[i].Name != parallel[i].Name {
+			t.Fatalf("result %d ordering differs: %s vs %s", i, serial[i].Name, parallel[i].Name)
+		}
+		if serial[i].Seed != parallel[i].Seed {
+			t.Errorf("%s: derived seed %d vs %d", serial[i].Name, serial[i].Seed, parallel[i].Seed)
+		}
+		if serial[i].Rendered != parallel[i].Rendered {
+			t.Errorf("%s: parallel rendering differs from serial", serial[i].Name)
+		}
+	}
+	if RenderText(serial, false) != RenderText(parallel, false) {
+		t.Error("rendered artifact text not byte-identical across worker counts")
+	}
+}
+
+func TestSeedDerivationPerArtifact(t *testing.T) {
+	rn := Runner{Opts: Opts{Seed: 1}}
+	seen := map[uint64]string{}
+	for _, name := range fastNames {
+		s := rn.ArtifactOpts(name).Seed
+		if prev, dup := seen[s]; dup {
+			t.Errorf("artifacts %s and %s derived the same seed %d", prev, name, s)
+		}
+		seen[s] = name
+	}
+	// Stable across calls and distinct from the top-level seed.
+	if rn.ArtifactOpts("tableI") != rn.ArtifactOpts("tableI") {
+		t.Error("seed derivation not stable")
+	}
+	if rn.ArtifactOpts("tableI").Seed == 1 {
+		t.Error("derived seed should differ from top-level seed")
+	}
+	if rng.SplitSeed(1, "tableI") == rng.SplitSeed(2, "tableI") {
+		t.Error("derived seed should depend on the top-level seed")
+	}
+}
+
+func TestWorkerPoolBounded(t *testing.T) {
+	const n = 16
+	for _, workers := range []int{0, 1, 3} {
+		bound := workers
+		if bound <= 0 {
+			bound = 1
+		}
+		var inflight, peak atomic.Int32
+		var mu sync.Mutex
+		arts := make([]Artifact, n)
+		for i := range arts {
+			arts[i] = Artifact{
+				Name: fmt.Sprintf("fake%d", i), Ref: "-", Desc: "-",
+				Run: func(o Opts) (any, string) {
+					cur := inflight.Add(1)
+					mu.Lock()
+					if cur > peak.Load() {
+						peak.Store(cur)
+					}
+					mu.Unlock()
+					time.Sleep(2 * time.Millisecond)
+					inflight.Add(-1)
+					return nil, "fake"
+				},
+			}
+		}
+		res := Runner{Opts: Opts{Seed: 1}, Workers: workers}.Run(arts)
+		if len(res) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(res), n)
+		}
+		if p := peak.Load(); p > int32(bound) {
+			t.Errorf("workers=%d: observed %d artifacts in flight, bound is %d", workers, p, bound)
+		}
+	}
+}
+
+func TestRunRecordsTiming(t *testing.T) {
+	arts := []Artifact{{
+		Name: "sleepy", Ref: "-", Desc: "-",
+		Run: func(o Opts) (any, string) {
+			time.Sleep(5 * time.Millisecond)
+			return nil, "z"
+		},
+	}}
+	res := Runner{Opts: Opts{Seed: 1}}.Run(arts)
+	if res[0].Elapsed < 5*time.Millisecond {
+		t.Errorf("elapsed %v, want >= 5ms", res[0].Elapsed)
+	}
+	text := RenderText(res, true)
+	if !strings.Contains(text, "sleepy") || !strings.Contains(text, "wall-clock") {
+		t.Errorf("timing table missing from rendering:\n%s", text)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	arts, err := Default().Select("tableI", "figure4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Runner{Opts: Opts{Bits: 24, Seed: 7}}.Run(arts)
+	b, err := RenderJSON(res)
+	if err != nil {
+		t.Fatalf("RenderJSON: %v", err)
+	}
+	var back []Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if len(back) != len(res) {
+		t.Fatalf("round-trip kept %d results, want %d", len(back), len(res))
+	}
+	for i := range res {
+		if back[i].Name != res[i].Name || back[i].Seed != res[i].Seed ||
+			back[i].Rendered != res[i].Rendered || back[i].Elapsed != res[i].Elapsed {
+			t.Errorf("result %d mutated in JSON round-trip", i)
+		}
+	}
+	if !strings.Contains(string(b), "Figure 4") {
+		t.Error("structured data missing from JSON output")
+	}
+}

@@ -11,6 +11,9 @@ import (
 func cfg() Config {
 	c := DefaultConfig(cpu.Gold6226())
 	c.Samples = 60 // trimmed for test runtime
+	if testing.Short() {
+		c.Samples = 30 // reduced-scale variant for the fast tier-1 loop
+	}
 	return c
 }
 

@@ -39,6 +39,19 @@ func (r *RNG) Fork(label uint64) *RNG {
 	return &RNG{state: mix(s)}
 }
 
+// SplitSeed derives an independent seed for the named substream of a
+// top-level seed. The derivation depends only on (seed, label), never on
+// call order, so work distributed across goroutines can seed each unit
+// identically to a serial run. Distinct labels yield streams that are
+// independent for all practical purposes.
+func SplitSeed(seed uint64, label string) uint64 {
+	z := seed
+	for i := 0; i < len(label); i++ {
+		z = mix(z + golden*(uint64(label[i])+1))
+	}
+	return mix(z + golden)
+}
+
 func mix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB

@@ -208,21 +208,128 @@ func DefenseCost(base, defended Model) float64 {
 // ExperimentOpts scales the paper-reproduction experiments.
 type ExperimentOpts = experiments.Opts
 
+// ExperimentArtifact describes one registered table/figure reproduction.
+type ExperimentArtifact = experiments.Artifact
+
+// ExperimentResult records one artifact run: derived seed, structured
+// data, rendered text, and wall-clock timing.
+type ExperimentResult = experiments.Result
+
+// Experiments returns the registered artifact catalog in paper order.
+func Experiments() []ExperimentArtifact { return experiments.Default().Artifacts() }
+
+// RunExperiments resolves name patterns against the artifact registry
+// (case-insensitive, shell-style globs, "all") and runs the selection on
+// a bounded pool of `workers` goroutines. Each artifact's seed is split
+// deterministically from o.Seed by artifact name, so every result's
+// data and rendered text are bit-identical for any worker count (only
+// the recorded wall-clock timings vary). Unknown patterns error before
+// anything runs.
+func RunExperiments(patterns []string, o ExperimentOpts, workers int) ([]ExperimentResult, error) {
+	arts, err := experiments.Default().Select(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Runner{Opts: o, Workers: workers}.Run(arts), nil
+}
+
+// runArtifact dispatches one named artifact through the registry with the
+// caller's options applied verbatim (no seed splitting), preserving the
+// behavior of the historical direct-call API.
+func runArtifact(name string, o ExperimentOpts) (any, string) {
+	a, ok := experiments.Default().Get(name)
+	if !ok {
+		panic("leaky: unknown experiment " + name)
+	}
+	return a.Run(o)
+}
+
 // Experiment runners: each regenerates one table or figure of the paper
-// and returns its formatted rendering.
-var (
-	TableI   = experiments.TableI
-	Figure2  = experiments.Figure2
-	Figure4  = experiments.Figure4
-	TableII  = experiments.TableII
-	TableIII = experiments.TableIII
-	TableIV  = experiments.TableIV
-	TableV   = experiments.TableV
-	TableVI  = experiments.TableVI
-	TableVII = experiments.TableVII
-	Figure8  = experiments.Figure8
-	Figure9  = experiments.Figure9
-	Figure10 = experiments.Figure10
-	Figure11 = experiments.Figure11
-	Figure12 = experiments.Figure12
-)
+// and returns its formatted rendering. They are thin lookups into the
+// artifact registry; RunExperiments is the batched, parallel entry point.
+
+// TableI renders the CPU model catalog (Table I).
+func TableI() string {
+	_, s := runArtifact("tableI", ExperimentOpts{})
+	return s
+}
+
+// Figure2 reproduces the per-path timing histogram (Figure 2).
+func Figure2(o ExperimentOpts) (experiments.Figure2Data, string) {
+	d, s := runArtifact("figure2", o)
+	return d.(experiments.Figure2Data), s
+}
+
+// Figure4 reproduces the mixed- vs ordered-issue LCP experiment (Figure 4).
+func Figure4(o ExperimentOpts) ([2]experiments.Figure4Row, string) {
+	d, s := runArtifact("figure4", o)
+	return d.([2]experiments.Figure4Row), s
+}
+
+// TableII reproduces the message-pattern study (Table II).
+func TableII(o ExperimentOpts) ([]Result, string) {
+	d, s := runArtifact("tableII", o)
+	return d.([]channel.Result), s
+}
+
+// TableIII reproduces the main covert-channel matrix (Table III).
+func TableIII(o ExperimentOpts) ([]Result, string) {
+	d, s := runArtifact("tableIII", o)
+	return d.([]channel.Result), s
+}
+
+// TableIV reproduces the slow-switch channel rows (Table IV).
+func TableIV(o ExperimentOpts) ([]Result, string) {
+	d, s := runArtifact("tableIV", o)
+	return d.([]channel.Result), s
+}
+
+// TableV reproduces the power channels (Table V).
+func TableV(o ExperimentOpts) ([]Result, string) {
+	d, s := runArtifact("tableV", o)
+	return d.([]channel.Result), s
+}
+
+// TableVI reproduces the SGX channel matrix (Table VI).
+func TableVI(o ExperimentOpts) ([]Result, string) {
+	d, s := runArtifact("tableVI", o)
+	return d.([]channel.Result), s
+}
+
+// TableVII reproduces the Spectre v1 L1 miss-rate comparison (Table VII).
+func TableVII(o ExperimentOpts) ([]SpectreResult, string) {
+	d, s := runArtifact("tableVII", o)
+	return d.([]spectre.Result), s
+}
+
+// Figure8 reproduces the MT eviction d-sweep (Figure 8).
+func Figure8(o ExperimentOpts) ([]experiments.Figure8Point, string) {
+	d, s := runArtifact("figure8", o)
+	return d.([]experiments.Figure8Point), s
+}
+
+// Figure9 reproduces the per-path power histogram (Figure 9).
+func Figure9(o ExperimentOpts) (experiments.Figure9Data, string) {
+	d, s := runArtifact("figure9", o)
+	return d.(experiments.Figure9Data), s
+}
+
+// Figure10 reproduces the microcode patch fingerprinting measurements.
+func Figure10(o ExperimentOpts) ([2]ucode.Observation, string) {
+	d, s := runArtifact("figure10", o)
+	return d.([2]ucode.Observation), s
+}
+
+// Figure11 reproduces the attacker IPC traces against the CNN victims.
+func Figure11(o ExperimentOpts) (map[string][]float64, string) {
+	d, s := runArtifact("figure11", o)
+	return d.(map[string][]float64), s
+}
+
+// Figure12 reproduces the fingerprinting distance study (Figure 12 and
+// Section XI-B).
+func Figure12(o ExperimentOpts) (cnn, gb fingerprint.Distances, rendered string) {
+	d, s := runArtifact("figure12", o)
+	fd := d.(experiments.Figure12Data)
+	return fd.CNN, fd.Geekbench, s
+}
