@@ -7,6 +7,9 @@ package leaky_test
 // reproduction run. EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	leaky "repro"
@@ -178,6 +181,40 @@ func runnerBench(b *testing.B, workers int) {
 
 func BenchmarkRunner_FastSubsetSerial(b *testing.B)    { runnerBench(b, 1) }
 func BenchmarkRunner_FastSubsetParallel4(b *testing.B) { runnerBench(b, 4) }
+
+// serveBench measures the daemon's artifact endpoint end-to-end over
+// HTTP. The first request simulates and fills the cache; every
+// subsequent iteration is a cache hit, which is the hot path a deployed
+// leakyfed serves under heavy traffic.
+func BenchmarkServe_ArtifactCacheHit(b *testing.B) {
+	srv := leaky.NewServer(leaky.ServeConfig{Opts: leaky.ExperimentOpts{Bits: 60, Seed: 1, Samples: 30}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/artifacts/tableIV"
+	warm, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.Body.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(srv.Metrics().CacheHits.Load()), "cache-hits")
+	if srv.Metrics().CacheMisses.Load() != 1 {
+		b.Fatalf("benchmark re-simulated: %d misses", srv.Metrics().CacheMisses.Load())
+	}
+}
 
 func BenchmarkAblation_Defenses(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -9,10 +9,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
 	leaky "repro"
+	"repro/internal/cmdutil"
 )
 
 // toBits encodes text as a bit string, MSB first.
@@ -48,14 +48,7 @@ func main() {
 	)
 	flag.Parse()
 
-	m, ok := leaky.ModelByName(*model)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown model %q; models:\n", *model)
-		for _, mm := range leaky.Models() {
-			fmt.Fprintf(os.Stderr, "  %s\n", mm.Name)
-		}
-		os.Exit(1)
-	}
+	m := cmdutil.MustModel(*model)
 	kind := leaky.Eviction
 	if strings.HasPrefix(*attack, "mis") {
 		kind = leaky.Misalignment

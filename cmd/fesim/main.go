@@ -16,8 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cmdutil"
 	"repro/internal/cpu"
 	"repro/internal/isa"
 )
@@ -34,12 +34,7 @@ func main() {
 	)
 	flag.Parse()
 
-	m, ok := cpu.ModelByName(*model)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
-		os.Exit(1)
-	}
-	m = m.WithLSD(*lsd)
+	m := cmdutil.MustModel(*model).WithLSD(*lsd)
 	core := cpu.NewCore(m, *seed)
 
 	chain := isa.MixChainMixed(*set, *blocks, *misaligned)

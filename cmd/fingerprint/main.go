@@ -8,13 +8,15 @@ import (
 	"fmt"
 
 	leaky "repro"
+	"repro/internal/cmdutil"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
+	model := flag.String("model", "Gold 6226", "CPU model (Table I name)")
 	flag.Parse()
 
-	m := leaky.Gold6226()
+	m := cmdutil.MustModel(*model)
 	suite := leaky.CNNWorkloads()
 
 	fmt.Println("recording reference traces (attacker nop-loop IPC at 10 Hz)...")

@@ -1,0 +1,85 @@
+// Command leakyfed is the artifact-serving daemon: it serves every
+// table and figure of the paper's evaluation over HTTP, with a
+// deterministic result cache (runs are pure functions of artifact name
+// and options, so results are cached forever), singleflight collapsing
+// of concurrent identical requests, and a bounded job queue that pushes
+// back with 429 under overload.
+//
+// Usage:
+//
+//	leakyfed -addr :8080 -workers 4 -cache-size 1024 -default-seed 1
+//
+// Endpoints:
+//
+//	GET /v1/artifacts                 catalog
+//	GET /v1/artifacts/{name}          one result (?format=json|text, ?seed=, ?bits=, ?samples=)
+//	GET /v1/run?sel=table*            NDJSON stream in catalog order
+//	GET /healthz                      liveness
+//	GET /metrics                      Prometheus text counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	leaky "repro"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", runtime.NumCPU(), "max artifact simulations in flight")
+		queue     = flag.Int("queue", 0, "max admitted jobs (waiting+running); 0 means 4x workers")
+		cacheSize = flag.Int("cache-size", 1024, "max cached results (LRU eviction)")
+		seed      = flag.Uint64("default-seed", 1, "seed used when a request does not pass ?seed=")
+		bits      = flag.Int("default-bits", 200, "bits used when a request does not pass ?bits=")
+		samples   = flag.Int("default-samples", 100, "samples used when a request does not pass ?samples=")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request wait bound (timed-out runs still warm the cache)")
+	)
+	flag.Parse()
+
+	srv := leaky.NewServer(leaky.ServeConfig{
+		Opts:       leaky.ExperimentOpts{Bits: *bits, Seed: *seed, Samples: *samples},
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		Timeout:    *timeout,
+	})
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slow-header and idle connections must not pin goroutines/fds
+		// forever on a public-facing daemon; response writes stay
+		// unbounded because /v1/run streams for as long as it simulates.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("leakyfed listening on %s (%d workers, cache %d)\n", *addr, *workers, *cacheSize)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "leakyfed: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "leakyfed: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("leakyfed: drained, bye")
+}

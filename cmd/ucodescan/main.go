@@ -5,13 +5,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	leaky "repro"
+	"repro/internal/cmdutil"
 )
 
 func main() {
-	m := leaky.Gold6226()
+	model := flag.String("model", "Gold 6226", "CPU model (Table I name)")
+	flag.Parse()
+
+	m := cmdutil.MustModel(*model)
 	for _, actual := range []leaky.MicrocodePatch{leaky.Patch1, leaky.Patch2} {
 		detected := leaky.DetectMicrocode(m, actual)
 		fmt.Printf("machine running %v\n", actual)

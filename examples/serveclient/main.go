@@ -1,0 +1,105 @@
+// Serveclient queries a running leakyfed daemon: it lists the catalog,
+// fetches one artifact twice (the second hit comes from the
+// deterministic cache), streams a selection as NDJSON, and dumps the
+// server's counters. Start the daemon first:
+//
+//	go run ./cmd/leakyfed -addr :8080 &
+//	go run ./examples/serveclient -addr http://127.0.0.1:8080
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func fetch(base, path string) (*http.Response, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %w (is leakyfed running?)", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+	}
+	return resp, nil
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "leakyfed base URL")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(base string) error {
+	// 1. The catalog: every table and figure the daemon serves.
+	resp, err := fetch(base, "/v1/artifacts")
+	if err != nil {
+		return err
+	}
+	var catalog []struct{ Name, Ref, Desc string }
+	err = json.NewDecoder(resp.Body).Decode(&catalog)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decoding catalog: %w", err)
+	}
+	fmt.Printf("daemon serves %d artifacts:\n", len(catalog))
+	for _, a := range catalog {
+		fmt.Printf("  %-10s %-10s %s\n", a.Name, a.Ref, a.Desc)
+	}
+
+	// 2. One artifact, twice: the first GET may simulate, the second is
+	// a cache hit and returns the identical bytes in microseconds.
+	const path = "/v1/artifacts/tableIV?format=text&bits=60"
+	for attempt := 1; attempt <= 2; attempt++ {
+		start := time.Now()
+		resp, err := fetch(base, path)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("\nGET %s (#%d, %v):\n%s", path, attempt, time.Since(start).Round(time.Microsecond), body)
+	}
+
+	// 3. A streamed selection: NDJSON in catalog order.
+	resp, err = fetch(base, "/v1/run?sel=tableI,tableIV&bits=60")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	fmt.Println("\nstreaming sel=tableI,tableIV:")
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r experiments.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return fmt.Errorf("bad NDJSON line: %w", err)
+		}
+		fmt.Printf("  %-10s (%s) seed=%d, %d rendered bytes\n", r.Name, r.Ref, r.Seed, len(r.Rendered))
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream interrupted: %w", err)
+	}
+
+	// 4. Operational counters.
+	resp, err = fetch(base, "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	fmt.Printf("\n/metrics:\n%s", metrics)
+	return nil
+}

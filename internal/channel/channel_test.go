@@ -67,6 +67,55 @@ func TestCalibrationExcludedFromRate(t *testing.T) {
 	}
 }
 
+func TestTransmitEmptyMessage(t *testing.T) {
+	// An empty message transmits nothing: zero cycles, zero rate, zero
+	// errors — and in particular no division by the zero elapsed time.
+	ch := &fakeChannel{r: rng.New(1)}
+	res := Transmit(ch, "model", "", 16)
+	if res.Cycles != 0 || res.Seconds != 0 {
+		t.Errorf("empty message consumed %d cycles (%.3fs)", res.Cycles, res.Seconds)
+	}
+	if res.RateKbps != 0 {
+		t.Errorf("empty message rate = %.2f Kbps, want 0", res.RateKbps)
+	}
+	if res.ErrorRate != 0 || res.Received != "" {
+		t.Errorf("empty message decoded to %q with error %.2f", res.Received, res.ErrorRate)
+	}
+}
+
+func TestTransmitShorterThanPreamble(t *testing.T) {
+	// The calibration preamble (40 bits at the public API) is longer
+	// than the message; calibration must still converge and the message
+	// bits must neither borrow from nor pay for the preamble.
+	ch := &fakeChannel{r: rng.New(5)}
+	msg := "01101"
+	res := Transmit(ch, "model", msg, 40)
+	if res.Received != msg {
+		t.Errorf("received %q, want %q", res.Received, msg)
+	}
+	if res.ErrorRate != 0 {
+		t.Errorf("error rate %.2f on a clean channel", res.ErrorRate)
+	}
+	if res.Cycles != uint64(len(msg))*1000 {
+		t.Errorf("message charged %d cycles, want %d (preamble excluded)", res.Cycles, len(msg)*1000)
+	}
+}
+
+func TestTransmitModelNameIsOpaque(t *testing.T) {
+	// Transmit does not resolve model names — the string is a label
+	// carried verbatim into the result (resolution happens in
+	// cmdutil.ResolveModel before a channel is ever built), so a
+	// nonexistent name must pass through unchanged rather than panic.
+	ch := &fakeChannel{r: rng.New(6)}
+	res := Transmit(ch, "No Such Model", Alternating(8), 16)
+	if res.Model != "No Such Model" {
+		t.Errorf("model label mutated to %q", res.Model)
+	}
+	if res.Channel != "fake" {
+		t.Errorf("channel name %q", res.Channel)
+	}
+}
+
 func TestMessageBuilders(t *testing.T) {
 	if AllZeros(3) != "000" || AllOnes(2) != "11" || Alternating(4) != "0101" {
 		t.Error("builders wrong")

@@ -1,0 +1,41 @@
+// Package cmdutil holds the small helpers the cmd/ binaries share, so
+// each command does not improvise its own flag handling and error
+// wording.
+package cmdutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cpu"
+)
+
+// ResolveModel looks a -model flag value up in the Table I catalog,
+// case-insensitively. On failure the error lists the valid names, so
+// every command reports the same actionable message.
+func ResolveModel(name string) (cpu.Model, error) {
+	models := cpu.Models()
+	for _, m := range models {
+		if strings.EqualFold(m.Name, name) {
+			return m, nil
+		}
+	}
+	names := make([]string, 0, len(models))
+	for _, m := range models {
+		names = append(names, fmt.Sprintf("%q", m.Name))
+	}
+	return cpu.Model{}, fmt.Errorf("unknown model %q; Table I models: %s",
+		name, strings.Join(names, ", "))
+}
+
+// MustModel is ResolveModel for command main functions: on failure it
+// prints the error and exits 1.
+func MustModel(name string) cpu.Model {
+	m, err := ResolveModel(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return m
+}

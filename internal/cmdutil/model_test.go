@@ -1,0 +1,39 @@
+package cmdutil
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestResolveModelCaseInsensitive(t *testing.T) {
+	for _, spelling := range []string{"Gold 6226", "gold 6226", "GOLD 6226"} {
+		m, err := ResolveModel(spelling)
+		if err != nil || m.Name != "Gold 6226" {
+			t.Errorf("ResolveModel(%q) = %q, %v; want Gold 6226", spelling, m.Name, err)
+		}
+	}
+	// Every catalog model resolves under its canonical name.
+	for _, want := range cpu.Models() {
+		if m, err := ResolveModel(want.Name); err != nil || m.Name != want.Name {
+			t.Errorf("ResolveModel(%q) = %q, %v", want.Name, m.Name, err)
+		}
+	}
+}
+
+func TestResolveModelUnknownListsCatalog(t *testing.T) {
+	_, err := ResolveModel("Pentium 4")
+	if err == nil {
+		t.Fatal("unknown model resolved")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "Pentium 4") {
+		t.Errorf("error does not echo the bad name: %s", msg)
+	}
+	for _, m := range cpu.Models() {
+		if !strings.Contains(msg, m.Name) {
+			t.Errorf("error does not list Table I model %q: %s", m.Name, msg)
+		}
+	}
+}

@@ -39,7 +39,13 @@ type Opts struct {
 // DefaultOpts returns the standard scale.
 func DefaultOpts() Opts { return Opts{Bits: 200, Seed: 1, Samples: 100} }
 
-func (o Opts) orDefault() Opts {
+// Normalize returns the options with every unset (zero or negative)
+// field replaced by its default, so that any two Opts values describing
+// the same run compare equal: Opts{}.Normalize() == DefaultOpts().
+// Every artifact function normalizes its options on entry, and the
+// serving layer's cache key is computed over normalized options, which
+// is what lets Opts{} and DefaultOpts() share one cache entry.
+func (o Opts) Normalize() Opts {
 	if o.Bits <= 0 {
 		o.Bits = 200
 	}
@@ -79,7 +85,7 @@ type Figure2Data struct {
 // LSD, the same chain with the LSD disabled (DSB), and a 9-block
 // same-set chain that thrashes into MITE+DSB.
 func Figure2(o Opts) (Figure2Data, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	const passes = 400
 	run := func(model cpu.Model, blocks []*isa.Block) []float64 {
 		core := cpu.NewCore(model, o.Seed)
@@ -129,7 +135,7 @@ type Figure4Row struct {
 // (Figure 4) by simulating a steady-state window and scaling the
 // counters to 800M iterations.
 func Figure4(o Opts) ([2]Figure4Row, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	const simIters = 3000
 	const paperIters = 800e6
 	run := func(mixed bool, name string) Figure4Row {
@@ -169,7 +175,7 @@ func Figure4(o Opts) ([2]Figure4Row, string) {
 // eviction channel at d=1 for all-0s, all-1s, alternating, and random
 // messages on the three hyper-threaded machines.
 func TableII(o Opts) ([]channel.Result, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	models := []cpu.Model{cpu.Gold6226(), cpu.XeonE2174G(), cpu.XeonE2286G()}
 	patterns := []struct {
 		name string
@@ -205,7 +211,7 @@ func TableII(o Opts) ([]channel.Result, string) {
 // TableIII reproduces the main covert-channel matrix (Table III): all
 // eviction- and misalignment-based channels on all four machines.
 func TableIII(o Opts) ([]channel.Result, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	msg := channel.Alternating(o.Bits)
 	var results []channel.Result
 	var b strings.Builder
@@ -237,7 +243,7 @@ func TableIII(o Opts) ([]channel.Result, string) {
 
 // TableIV reproduces the slow-switch channel rows (Table IV).
 func TableIV(o Opts) ([]channel.Result, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	msg := channel.Alternating(o.Bits)
 	var results []channel.Result
 	var b strings.Builder
@@ -256,7 +262,7 @@ func TableIV(o Opts) ([]channel.Result, string) {
 // TableV reproduces the power channels (Table V) on the Gold 6226. Bits
 // default lower because each power bit needs >100k iterations.
 func TableV(o Opts) ([]channel.Result, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	bits := o.Bits / 12
 	if bits < 8 {
 		bits = 8
@@ -279,7 +285,7 @@ func TableV(o Opts) ([]channel.Result, string) {
 // TableVI reproduces the SGX channel matrix (Table VI) on the three
 // SGX-capable machines.
 func TableVI(o Opts) ([]channel.Result, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	bits := o.Bits / 4
 	if bits < 12 {
 		bits = 12
@@ -316,7 +322,7 @@ func TableVI(o Opts) ([]channel.Result, string) {
 
 // TableVII reproduces the Spectre v1 L1 miss-rate comparison (Table VII).
 func TableVII(o Opts) ([]spectre.Result, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	secret := []byte{3, 17, 29, 8, 0, 31, 12, 22}
 	channels := []spectre.Channel{
 		spectre.MemFlushReload, spectre.L1DFlushReload, spectre.L1DLRU,
@@ -348,7 +354,7 @@ type Figure8Point struct {
 // Figure8 reproduces the MT eviction d-sweep (Figure 8) on the three
 // hyper-threaded machines.
 func Figure8(o Opts) ([]Figure8Point, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	bits := o.Bits / 2
 	if bits < 40 {
 		bits = 40
@@ -380,7 +386,7 @@ type Figure9Data struct {
 
 // Figure9 reproduces the per-path power histogram (Figure 9).
 func Figure9(o Opts) (Figure9Data, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	const windows = 300
 	run := func(model cpu.Model, blocks []*isa.Block) []float64 {
 		core := cpu.NewCore(model, o.Seed)
@@ -420,7 +426,7 @@ func Figure9(o Opts) (Figure9Data, string) {
 
 // Figure10 reproduces the microcode patch fingerprinting measurements.
 func Figure10(o Opts) ([2]ucode.Observation, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	obs := [2]ucode.Observation{
 		ucode.Observe(cpu.Gold6226(), ucode.Patch1, o.Seed),
 		ucode.Observe(cpu.Gold6226(), ucode.Patch2, o.Seed),
@@ -441,7 +447,7 @@ func Figure10(o Opts) ([2]ucode.Observation, string) {
 // Figure11 reproduces the attacker IPC traces against the four CNN
 // victims.
 func Figure11(o Opts) (map[string][]float64, string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	cfg := fingerprint.DefaultConfig(cpu.Gold6226())
 	cfg.Seed = o.Seed
 	cfg.Samples = o.Samples
@@ -467,7 +473,7 @@ type Figure12Data struct {
 // Figure12 reproduces the inter/intra distance study for the CNNs plus
 // the Geekbench suite statistic of Section XI-B.
 func Figure12(o Opts) (cnn, gb fingerprint.Distances, rendered string) {
-	o = o.orDefault()
+	o = o.Normalize()
 	cfg := fingerprint.DefaultConfig(cpu.Gold6226())
 	cfg.Seed = o.Seed
 	cfg.Samples = o.Samples

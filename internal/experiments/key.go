@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CacheKey returns the canonical cache key for running the named
+// artifact with these options. The key is computed over the normalized
+// options and the lower-cased artifact name, so every spelling of the
+// same run — Opts{} vs DefaultOpts(), "TABLEiii" vs "tableIII" — maps
+// to the same entry. Every artifact is a pure function of (name, Opts):
+// equal keys imply bit-identical results, which is what lets the serving
+// layer cache results forever and collapse duplicate requests.
+//
+// The encoding is versioned ("v1|..."): bump the prefix whenever the
+// meaning of a field changes, so stale entries in any future persistent
+// cache can never be mistaken for current ones.
+func (o Opts) CacheKey(artifact string) string {
+	o = o.Normalize()
+	return fmt.Sprintf("v1|%s|bits=%d|seed=%d|samples=%d",
+		strings.ToLower(artifact), o.Bits, o.Seed, o.Samples)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeEquivalence(t *testing.T) {
+	if got := (Opts{}).Normalize(); got != DefaultOpts() {
+		t.Errorf("Opts{}.Normalize() = %+v, want DefaultOpts() %+v", got, DefaultOpts())
+	}
+	// Negative values are "unset" too, not a distinct scale.
+	if got := (Opts{Bits: -1, Samples: -5}).Normalize(); got != DefaultOpts() {
+		t.Errorf("negative fields normalized to %+v, want %+v", got, DefaultOpts())
+	}
+	// Already-normalized options are a fixed point.
+	o := Opts{Bits: 48, Seed: 9, Samples: 20}
+	if o.Normalize() != o {
+		t.Errorf("Normalize not idempotent on %+v", o)
+	}
+}
+
+func TestNormalizeMatchesRunner(t *testing.T) {
+	// The runner derives per-artifact seeds from the normalized top-level
+	// seed, so a zero-valued Opts and DefaultOpts() must describe the
+	// identical run.
+	zero := Runner{Opts: Opts{}}.ArtifactOpts("tableIV")
+	def := Runner{Opts: DefaultOpts()}.ArtifactOpts("tableIV")
+	if zero != def {
+		t.Errorf("ArtifactOpts differ for equivalent options: %+v vs %+v", zero, def)
+	}
+}
+
+func TestCacheKey(t *testing.T) {
+	// Equivalent options and name spellings share one key.
+	if (Opts{}).CacheKey("tableIII") != DefaultOpts().CacheKey("TABLEiii") {
+		t.Error("equivalent runs produced different cache keys")
+	}
+	// Any distinguishing field produces a distinct key.
+	base := Opts{Bits: 100, Seed: 1, Samples: 50}
+	keys := map[string]string{
+		"name":    base.CacheKey("figure8"),
+		"bits":    Opts{Bits: 101, Seed: 1, Samples: 50}.CacheKey("tableII"),
+		"seed":    Opts{Bits: 100, Seed: 2, Samples: 50}.CacheKey("tableII"),
+		"samples": Opts{Bits: 100, Seed: 1, Samples: 51}.CacheKey("tableII"),
+		"base":    base.CacheKey("tableII"),
+	}
+	seen := map[string]string{}
+	for field, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("distinct runs %s and %s collided on key %q", prev, field, k)
+		}
+		seen[k] = field
+	}
+	// The encoding is stable program text: a silent change would
+	// invalidate every entry of a future persistent cache.
+	want := "v1|tableii|bits=100|seed=1|samples=50"
+	if got := base.CacheKey("tableII"); got != want {
+		t.Errorf("CacheKey = %q, want %q", got, want)
+	}
+	if !strings.HasPrefix(want, "v1|") {
+		t.Fatal("key must be versioned")
+	}
+}

@@ -33,7 +33,7 @@ type Runner struct {
 // ArtifactOpts returns the per-artifact options the runner would use for
 // the named artifact: the base options with the seed split by name.
 func (rn Runner) ArtifactOpts(name string) Opts {
-	o := rn.Opts.orDefault()
+	o := rn.Opts.Normalize()
 	o.Seed = rng.SplitSeed(o.Seed, name)
 	return o
 }

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/experiments"
+)
+
+// resultCache is a bounded LRU cache of artifact results. Because every
+// artifact is a pure function of (name, normalized Opts) — the cache key
+// — entries never expire and never need invalidation; the only reason to
+// evict is the size bound. A hit returns the stored Result by value
+// without touching the simulator.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element // key -> element in order
+}
+
+type cacheEntry struct {
+	key string
+	res experiments.Result
+}
+
+// newResultCache builds a cache holding at most max results; max <= 0
+// means an unbounded cache (the catalog is finite, so "unbounded" is
+// still bounded by the number of distinct (name, Opts) pairs requested).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *resultCache) Get(key string) (experiments.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return experiments.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Add stores a result under key, evicting the least recently used entry
+// when the bound is exceeded. Storing an existing key refreshes its
+// recency but keeps the first value: results are deterministic, so the
+// values are identical anyway.
+func (c *resultCache) Add(key string, res experiments.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	if c.max > 0 && c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

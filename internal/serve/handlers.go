@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET /v1/artifacts                 catalog (name, ref, desc) as JSON
+//	GET /v1/artifacts/{name}          one result; ?format=json|text,
+//	                                  ?seed=, ?bits=, ?samples= override
+//	                                  the server's base options
+//	GET /v1/run?sel=table*            NDJSON result stream in catalog
+//	                                  order; sel repeats or comma-lists
+//	                                  patterns, default "all"
+//	GET /healthz                      liveness probe
+//	GET /metrics                      Prometheus text counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/artifacts", s.handleCatalog)
+	mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/run", s.handleRun)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// catalogEntry is one /v1/artifacts row.
+type catalogEntry struct {
+	Name string `json:"name"`
+	Ref  string `json:"ref"`
+	Desc string `json:"desc"`
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	arts := s.reg.Artifacts()
+	entries := make([]catalogEntry, len(arts))
+	for i, a := range arts {
+		entries[i] = catalogEntry{Name: a.Name, Ref: a.Ref, Desc: a.Desc}
+	}
+	s.writeJSON(w, entries)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	o, err := s.requestOpts(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "text" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json|text)", format))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	res, err := s.Artifact(ctx, r.PathValue("name"), o)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	if format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.Rendered)
+		return
+	}
+	s.writeJSON(w, res)
+}
+
+// handleRun streams the selected artifacts as NDJSON in catalog order.
+// Cached artifacts are served from the cache; the rest execute on the
+// shared simulation slots via RunEmit, each routed through the flight
+// group so a stream never duplicates a simulation another stream or a
+// single-artifact request already has in flight. Each line is flushed
+// as soon as its catalog-order prefix is complete. A stream needing any
+// simulation counts as one job against the queue, so overload pushes
+// back with 429 while an idle server always accepts sel=all.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	o, err := s.requestOpts(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var patterns []string
+	for _, sel := range r.URL.Query()["sel"] {
+		patterns = append(patterns, strings.Split(sel, ",")...)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"all"}
+	}
+	arts, err := s.reg.Select(patterns...)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Partition the selection: results already cached versus artifacts
+	// that need a simulation.
+	keys := make([]string, len(arts))
+	results := make([]experiments.Result, len(arts))
+	cached := make([]bool, len(arts))
+	var missing []experiments.Artifact
+	var missingIdx []int
+	for i, a := range arts {
+		keys[i] = o.CacheKey(a.Name)
+		if res, hit := s.cache.Get(keys[i]); hit {
+			s.metrics.CacheHits.Add(1)
+			results[i], cached[i] = res, true
+		} else {
+			missing = append(missing, a)
+			missingIdx = append(missingIdx, i)
+		}
+	}
+	if len(missing) > 0 {
+		if !s.admit(1) {
+			s.fail(w, http.StatusTooManyRequests, fmt.Errorf("%d artifacts need simulation, queue full", len(missing)))
+			return
+		}
+		defer s.metrics.Queued.Add(-1)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	next := 0 // next catalog-order index to emit
+	emitReady := func(limit int) {
+		for next <= limit {
+			enc.Encode(results[next])
+			next++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// The cached prefix is available now — stream it before the first
+	// simulation rather than after it.
+	firstMissing := len(arts)
+	if len(missingIdx) > 0 {
+		firstMissing = missingIdx[0]
+	}
+	if firstMissing > 0 {
+		emitReady(firstMissing - 1)
+	}
+
+	// Each missing artifact resolves through the flight group (which
+	// runs it on a shared simulation slot, or joins a run already in
+	// flight elsewhere); RunEmit calls back in input order (== catalog
+	// order), so the k-th emission is missing[k]. The wait context is
+	// detached: a stream runs to completion and warms the cache even if
+	// the client goes away.
+	wrapped := make([]experiments.Artifact, len(missing))
+	for i, a := range missing {
+		orig, key := a, keys[missingIdx[i]]
+		a.Run = func(experiments.Opts) (any, string) {
+			// With admitJob=false and a detached context, compute can
+			// only fail by joining a flight whose leader (a single-
+			// artifact request) lost the admission race; that flight is
+			// short-lived, so retry until this caller leads one itself.
+			for {
+				res, err := s.compute(context.Background(), key, orig, o, false)
+				if err == nil {
+					return res.Data, res.Rendered
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		wrapped[i] = a
+	}
+	emitted := 0
+	experiments.Runner{Opts: o, Workers: s.workers}.RunEmit(wrapped, func(res experiments.Result) {
+		res.Elapsed = 0 // determinism: the stream depends only on (sel, Opts)
+		idx := missingIdx[emitted]
+		emitted++
+		results[idx] = res
+		emitReady(idx)
+	})
+	if next < len(arts) {
+		emitReady(len(arts) - 1)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Render(s.cache.Len()))
+}
+
+// requestOpts merges the server's base options with the request's
+// ?seed=, ?bits=, ?samples= overrides.
+func (s *Server) requestOpts(r *http.Request) (experiments.Opts, error) {
+	o := s.opts
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || seed == 0 {
+			// Seed 0 means "unset" to Opts.Normalize; accepting it would
+			// silently alias the seed=1 cache entry.
+			return o, fmt.Errorf("bad seed %q: want an integer >= 1", v)
+		}
+		o.Seed = seed
+	}
+	if v := q.Get("bits"); v != "" {
+		bits, err := strconv.Atoi(v)
+		if err != nil || bits <= 0 || bits > maxBits {
+			return o, fmt.Errorf("bad bits %q: want 1..%d", v, maxBits)
+		}
+		o.Bits = bits
+	}
+	if v := q.Get("samples"); v != "" {
+		samples, err := strconv.Atoi(v)
+		if err != nil || samples <= 0 || samples > maxSamples {
+			return o, fmt.Errorf("bad samples %q: want 1..%d", v, maxSamples)
+		}
+		o.Samples = samples
+	}
+	return o, nil
+}
+
+// Scale caps for request parameters. Simulations are detached and
+// uncancellable once admitted (so an abandoned run can still warm the
+// cache, and because Artifact.Run takes no context); the caps bound the
+// damage an abandoned max-scale request can do to ~10x the paper's
+// scales — a full sel=all stream at the cap finishes in minutes, and
+// the queue depth bounds how many such streams run at once. Cooperative
+// cancellation of in-flight simulations is a ROADMAP item.
+const (
+	maxBits    = 2_000
+	maxSamples = 1_000
+)
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// failErr maps serving-layer errors to their HTTP statuses.
+func (s *Server) failErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		s.fail(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrBusy):
+		s.fail(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout,
+			errors.New("timed out waiting for result (it will be cached)"))
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody is listening and the server did
+		// nothing wrong, so this is neither an error nor a timeout.
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
+}
+
+// fail writes an error response, attributing it to the matching counter:
+// 429s are backpressure, 504s are timeouts, the rest are errors.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	switch code {
+	case http.StatusTooManyRequests:
+		s.metrics.Rejected.Add(1)
+	case http.StatusGatewayTimeout:
+		s.metrics.Timeouts.Add(1)
+	default:
+		s.metrics.Errors.Add(1)
+	}
+	http.Error(w, err.Error(), code)
+}

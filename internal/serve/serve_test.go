@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// countingRegistry builds a registry of cheap fake artifacts that count
+// their executions, so tests can prove when the simulator was (not)
+// touched.
+func countingRegistry(runs *atomic.Int64, delay time.Duration, names ...string) *experiments.Registry {
+	arts := make([]experiments.Artifact, len(names))
+	for i, name := range names {
+		arts[i] = experiments.Artifact{
+			Name: name, Ref: "Fake " + name, Desc: "counting artifact",
+			Run: func(o experiments.Opts) (any, string) {
+				runs.Add(1)
+				time.Sleep(delay)
+				return map[string]uint64{"seed": o.Seed}, fmt.Sprintf("%s seed=%d bits=%d\n", name, o.Seed, o.Bits)
+			},
+		}
+	}
+	return experiments.NewRegistry(arts...)
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestCachedArtifactMatchesDirectRun is the acceptance test for the
+// deterministic cache: a cached GET returns bytes identical to a direct
+// Runner.Run of the same artifact and options, without re-running the
+// simulation.
+func TestCachedArtifactMatchesDirectRun(t *testing.T) {
+	var runs atomic.Int64
+	reg := countingRegistry(&runs, 0, "alpha", "beta")
+	s := NewServer(Config{Registry: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const path = "/v1/artifacts/alpha?bits=24&seed=7"
+	code1, body1 := get(t, ts, path)
+	code2, body2 := get(t, ts, path)
+	if code1 != 200 || code2 != 200 {
+		t.Fatalf("statuses %d, %d; want 200", code1, code2)
+	}
+	if string(body1) != string(body2) {
+		t.Fatalf("cached response differs from first:\n%s\nvs\n%s", body1, body2)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("artifact ran %d times across 2 GETs, want 1 (cache hit)", n)
+	}
+	if hits := s.Metrics().CacheHits.Load(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+
+	// The served bytes equal a direct Runner.Run of the same artifact
+	// and options (Elapsed zeroed: responses are pure functions of the
+	// request, wall-clock is not part of the artifact).
+	a, _ := reg.Get("alpha")
+	direct := experiments.Runner{Opts: experiments.Opts{Bits: 24, Seed: 7}}.Run([]experiments.Artifact{a})[0]
+	direct.Elapsed = 0
+	want, err := json.MarshalIndent(direct, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body1) != string(want)+"\n" {
+		t.Errorf("served JSON differs from direct Runner.Run:\n%s\nvs\n%s", body1, want)
+	}
+	// Text format serves exactly the rendered artifact, still from the
+	// cache (the direct comparison run above is the only extra run).
+	_, text := get(t, ts, path+"&format=text")
+	if string(text) != direct.Rendered {
+		t.Errorf("text format = %q, want %q", text, direct.Rendered)
+	}
+	if n := runs.Load(); n != 2 {
+		t.Errorf("text request re-ran the artifact (%d runs, want 2)", n)
+	}
+}
+
+// TestSingleflight is the acceptance test for request collapsing: N
+// concurrent identical requests for an uncached artifact execute the
+// artifact exactly once, and every caller gets the same bytes.
+func TestSingleflight(t *testing.T) {
+	var runs atomic.Int64
+	reg := countingRegistry(&runs, 30*time.Millisecond, "alpha")
+	s := NewServer(Config{Registry: reg, Workers: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 16
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Get(ts.URL + "/v1/artifacts/alpha?seed=3")
+			if err != nil {
+				t.Errorf("concurrent GET: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			bodies[i] = string(b)
+		}()
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("%d concurrent requests executed the artifact %d times, want exactly 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("request %d got different bytes than request 0", i)
+		}
+	}
+	if dedup := s.Metrics().Deduplicated.Load(); dedup == 0 {
+		t.Error("no request recorded as deduplicated")
+	}
+}
+
+// TestDistinctOptionsDistinctResults: the cache must not conflate
+// different seeds, and equivalent spellings must share one entry.
+func TestDistinctOptionsDistinctResults(t *testing.T) {
+	var runs atomic.Int64
+	reg := countingRegistry(&runs, 0, "alpha")
+	s := NewServer(Config{Registry: reg, Opts: experiments.Opts{Seed: 1}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, seed1 := get(t, ts, "/v1/artifacts/alpha?seed=1")
+	_, seed2 := get(t, ts, "/v1/artifacts/alpha?seed=2")
+	if string(seed1) == string(seed2) {
+		t.Error("different seeds served identical results")
+	}
+	// Default options and their explicit spelling share a cache entry,
+	// as does a different case of the name.
+	get(t, ts, "/v1/artifacts/alpha")
+	get(t, ts, "/v1/artifacts/ALPHA?seed=1&bits=200&samples=100")
+	if n := runs.Load(); n != 2 {
+		t.Errorf("equivalent requests re-ran: %d runs, want 2 (seed 1, seed 2)", n)
+	}
+}
+
+func TestBackpressure429(t *testing.T) {
+	release := make(chan struct{})
+	var runs atomic.Int64
+	arts := []experiments.Artifact{
+		{Name: "slow", Ref: "-", Desc: "-", Run: func(o experiments.Opts) (any, string) {
+			runs.Add(1)
+			<-release
+			return nil, "slow\n"
+		}},
+		{Name: "other", Ref: "-", Desc: "-", Run: func(o experiments.Opts) (any, string) {
+			return nil, "other\n"
+		}},
+	}
+	s := NewServer(Config{Registry: experiments.NewRegistry(arts...), Workers: 1, QueueDepth: 1, Timeout: 5 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the single queue slot with a blocked run.
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		get(t, ts, "/v1/artifacts/slow")
+	}()
+	<-started
+	for i := 0; i < 100 && s.Metrics().Queued.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Metrics().Queued.Load() != 1 {
+		t.Fatal("blocked run never admitted to the queue")
+	}
+
+	code, body := get(t, ts, "/v1/artifacts/other")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full request got %d (%s), want 429", code, body)
+	}
+	if s.Metrics().Rejected.Load() == 0 {
+		t.Error("rejection not counted")
+	}
+	close(release)
+	// After the queue drains, the same request succeeds.
+	for i := 0; i < 100 && s.Metrics().Queued.Load() != 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if code, _ := get(t, ts, "/v1/artifacts/other"); code != 200 {
+		t.Errorf("post-drain request got %d, want 200", code)
+	}
+}
+
+func TestTimeoutKeepsWarmingCache(t *testing.T) {
+	var runs atomic.Int64
+	reg := countingRegistry(&runs, 80*time.Millisecond, "alpha")
+	s := NewServer(Config{Registry: reg, Timeout: 5 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, _ := get(t, ts, "/v1/artifacts/alpha")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow request got %d, want 504", code)
+	}
+	// The abandoned simulation still lands in the cache.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.cache.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	code, _ = get(t, ts, "/v1/artifacts/alpha")
+	if code != 200 {
+		t.Fatalf("post-timeout request got %d, want 200 from cache", code)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("artifact ran %d times, want 1", n)
+	}
+}
+
+func TestRunStreamNDJSON(t *testing.T) {
+	var runs atomic.Int64
+	reg := countingRegistry(&runs, 0, "alpha", "beta", "gamma")
+	s := NewServer(Config{Registry: reg, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm one artifact so the stream mixes cached and fresh results.
+	get(t, ts, "/v1/artifacts/beta?seed=5")
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/run?sel=all&seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	var names []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r experiments.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if r.Elapsed != 0 {
+			t.Errorf("%s: Elapsed leaked into deterministic stream", r.Name)
+		}
+		names = append(names, r.Name)
+	}
+	want := []string{"alpha", "beta", "gamma"} // catalog order
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("stream order %v, want %v", names, want)
+	}
+	// beta came from the cache: only alpha and gamma ran here.
+	if n := runs.Load(); n != 3 { // 1 warmup + 2 stream
+		t.Errorf("total runs %d, want 3", n)
+	}
+	// A second identical stream is served entirely from the cache.
+	get(t, ts, "/v1/run?sel=all&seed=5")
+	if n := runs.Load(); n != 3 {
+		t.Errorf("cached stream re-ran artifacts: %d runs", n)
+	}
+}
+
+func TestRunStreamSelectionAndErrors(t *testing.T) {
+	reg := countingRegistry(new(atomic.Int64), 0, "alpha", "beta")
+	ts := httptest.NewServer(NewServer(Config{Registry: reg}).Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/v1/run?sel=alpha")
+	if code != 200 || strings.Count(string(body), "\n") != 1 {
+		t.Errorf("sel=alpha: code %d body %q", code, body)
+	}
+	if code, _ := get(t, ts, "/v1/run?sel=nosuch"); code != http.StatusBadRequest {
+		t.Errorf("unknown selection got %d, want 400", code)
+	}
+}
+
+// TestRunStreamLargerThanQueue: a stream is one job against the queue,
+// so an idle server must accept sel=all even when the selection has
+// more uncached artifacts than the queue depth.
+func TestRunStreamLargerThanQueue(t *testing.T) {
+	var runs atomic.Int64
+	reg := countingRegistry(&runs, 0, "a1", "a2", "a3", "a4", "a5")
+	s := NewServer(Config{Registry: reg, Workers: 2, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/v1/run?sel=all")
+	if code != 200 {
+		t.Fatalf("idle-server sel=all got %d (%s), want 200", code, body)
+	}
+	if n := strings.Count(string(body), "\n"); n != 5 {
+		t.Errorf("stream emitted %d lines, want 5", n)
+	}
+	if q := s.Metrics().Queued.Load(); q != 0 {
+		t.Errorf("queue slot leaked: depth %d after stream", q)
+	}
+}
+
+// TestRunStreamSharesFlights: a stream and a single-artifact request
+// racing for the same uncached artifact must share one simulation.
+func TestRunStreamSharesFlights(t *testing.T) {
+	var runs atomic.Int64
+	reg := countingRegistry(&runs, 50*time.Millisecond, "alpha", "beta")
+	s := NewServer(Config{Registry: reg, Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			get(t, ts, "/v1/run?sel=all&seed=4")
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		get(t, ts, "/v1/artifacts/alpha?seed=4")
+	}()
+	wg.Wait()
+	if n := runs.Load(); n != 2 {
+		t.Errorf("4 overlapping requests ran the 2 artifacts %d times total, want 2", n)
+	}
+}
+
+func TestCatalogHealthzMetrics(t *testing.T) {
+	reg := countingRegistry(new(atomic.Int64), 0, "alpha", "beta")
+	ts := httptest.NewServer(NewServer(Config{Registry: reg}).Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/v1/artifacts")
+	if code != 200 {
+		t.Fatalf("catalog: %d", code)
+	}
+	var entries []catalogEntry
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatalf("catalog JSON: %v", err)
+	}
+	if len(entries) != 2 || entries[0].Name != "alpha" {
+		t.Errorf("catalog %+v", entries)
+	}
+
+	if code, body := get(t, ts, "/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+
+	_, metrics := get(t, ts, "/metrics")
+	for _, want := range []string{"leakyfed_requests_total", "leakyfed_cache_hits_total", "leakyfed_queue_depth"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %s:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	reg := countingRegistry(new(atomic.Int64), 0, "alpha")
+	ts := httptest.NewServer(NewServer(Config{Registry: reg}).Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/artifacts/nosuch", http.StatusNotFound},
+		{"/v1/artifacts/alpha?seed=banana", http.StatusBadRequest},
+		{"/v1/artifacts/alpha?seed=0", http.StatusBadRequest},
+		{"/v1/artifacts/alpha?bits=-3", http.StatusBadRequest},
+		{"/v1/artifacts/alpha?bits=100000000", http.StatusBadRequest},
+		{"/v1/artifacts/alpha?samples=0", http.StatusBadRequest},
+		{"/v1/artifacts/alpha?samples=100000000", http.StatusBadRequest},
+		{"/v1/artifacts/alpha?format=yaml", http.StatusBadRequest},
+	} {
+		if code, _ := get(t, ts, tc.path); code != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, code, tc.want)
+		}
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	r := func(name string) experiments.Result { return experiments.Result{Name: name} }
+	c.Add("a", r("a"))
+	c.Add("b", r("b"))
+	c.Get("a") // refresh a; b is now LRU
+	c.Add("c", r("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b not evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s missing", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("len %d, want 2", c.Len())
+	}
+	// Re-adding an existing key refreshes recency without growing.
+	c.Add("a", r("a"))
+	if c.Len() != 2 {
+		t.Errorf("duplicate Add grew cache to %d", c.Len())
+	}
+}
+
+func TestFlightGroupContext(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	leaderDone := make(chan experiments.Result, 1)
+	go func() {
+		res, _, _ := g.Do(context.Background(), "k", func() (experiments.Result, error) {
+			<-release
+			return experiments.Result{Name: "landed"}, nil
+		})
+		leaderDone <- res
+	}()
+	// Wait until the flight exists, then join with an expired context.
+	for i := 0; i < 1000; i++ {
+		g.mu.Lock()
+		n := len(g.flights)
+		g.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := g.Do(ctx, "k", nil)
+	if !shared || err == nil {
+		t.Errorf("cancelled waiter: shared=%v err=%v, want true, ctx error", shared, err)
+	}
+	close(release)
+	if res := <-leaderDone; res.Name != "landed" {
+		t.Errorf("leader got %q, want landed", res.Name)
+	}
+}

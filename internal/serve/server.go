@@ -1,0 +1,187 @@
+// Package serve is the artifact-serving layer: a long-running HTTP
+// daemon in front of the experiment registry and Runner. The paper's
+// evaluation is fully deterministic — every table and figure is a pure
+// function of (artifact name, normalized Opts) — so the server caches
+// results forever under a canonical key, collapses concurrent requests
+// for the same uncached artifact into one simulation (singleflight), and
+// bounds the work it accepts with a job queue that rejects with 429 when
+// full. A cache hit returns the stored result without touching the
+// simulator; responses are byte-identical for every spelling of the same
+// request.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Errors the serving layer maps to HTTP statuses.
+var (
+	// ErrNotFound reports an artifact name absent from the registry (404).
+	ErrNotFound = errors.New("serve: unknown artifact")
+	// ErrBusy reports the job queue is full; retry later (429).
+	ErrBusy = errors.New("serve: job queue full")
+)
+
+// Config parameterizes a Server. The zero value serves the default
+// registry with default options and sensible bounds.
+type Config struct {
+	// Registry is the artifact catalog; nil means experiments.Default().
+	Registry *experiments.Registry
+	// Opts is the base experiment scale. Per-request query parameters
+	// (?seed=, ?bits=, ?samples=) override individual fields; the result
+	// is normalized before keying the cache.
+	Opts experiments.Opts
+	// Workers bounds how many artifact simulations run concurrently
+	// across all requests; <= 0 means 4.
+	Workers int
+	// QueueDepth bounds admitted jobs, where one job is one request's
+	// simulation work: a single-artifact request and a whole /v1/run
+	// stream each count as one (a stream's internal parallelism is
+	// already bounded by Workers). A request arriving with every slot
+	// taken is rejected with 429. <= 0 means 4x Workers.
+	QueueDepth int
+	// CacheSize bounds the number of cached results (LRU eviction);
+	// <= 0 means 1024.
+	CacheSize int
+	// Timeout bounds how long a single-artifact request waits for its
+	// result. A timed-out request gets 504, but the simulation keeps
+	// running and still populates the cache. <= 0 means 2 minutes.
+	Timeout time.Duration
+}
+
+// Server serves registry artifacts over HTTP with caching, request
+// deduplication, and admission control. Create one with NewServer and
+// mount Handler on an http.Server.
+type Server struct {
+	reg     *experiments.Registry
+	opts    experiments.Opts
+	workers int
+	depth   int64
+	timeout time.Duration
+
+	cache   *resultCache
+	flights *flightGroup
+	sem     chan struct{} // simulation slots; acquired only while running
+	metrics Metrics
+}
+
+// NewServer builds a Server from cfg, applying defaults for unset
+// fields.
+func NewServer(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = experiments.Default()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	size := cfg.CacheSize
+	if size <= 0 {
+		size = 1024
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	return &Server{
+		reg:     reg,
+		opts:    cfg.Opts.Normalize(),
+		workers: workers,
+		depth:   int64(depth),
+		timeout: timeout,
+		cache:   newResultCache(size),
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, workers),
+	}
+}
+
+// Metrics returns the server's live counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Artifact returns the result of running the named artifact with the
+// given options (normalized first), preferring the cache and collapsing
+// concurrent identical requests into one simulation. The returned
+// Result has Elapsed zeroed so the bytes are a pure function of
+// (name, Opts); wall-clock cost is an operational concern, visible in
+// /metrics, not part of the artifact.
+func (s *Server) Artifact(ctx context.Context, name string, o experiments.Opts) (experiments.Result, error) {
+	a, ok := s.reg.Get(name)
+	if !ok {
+		return experiments.Result{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	o = o.Normalize()
+	key := o.CacheKey(a.Name)
+	if res, hit := s.cache.Get(key); hit {
+		s.metrics.CacheHits.Add(1)
+		return res, nil
+	}
+	return s.compute(ctx, key, a, o, true)
+}
+
+// compute returns the (possibly in-flight or cached) result for key,
+// collapsing concurrent callers into one simulation. With admitJob set,
+// the flight leader must claim a job-queue slot before simulating —
+// the single-artifact path's admission unit is one artifact. Stream
+// requests admit once per request instead and pass admitJob false.
+func (s *Server) compute(ctx context.Context, key string, a experiments.Artifact, o experiments.Opts, admitJob bool) (experiments.Result, error) {
+	res, shared, err := s.flights.Do(ctx, key, func() (experiments.Result, error) {
+		// A racing flight may have landed between the caller's cache
+		// probe and taking the flight lead; its result is already cached
+		// and this serve counts as a hit like any other.
+		if res, hit := s.cache.Get(key); hit {
+			s.metrics.CacheHits.Add(1)
+			return res, nil
+		}
+		if admitJob {
+			if !s.admit(1) {
+				return experiments.Result{}, ErrBusy
+			}
+			defer s.metrics.Queued.Add(-1)
+		}
+		res := s.run(a, o)
+		s.cache.Add(key, res)
+		return res, nil
+	})
+	if shared && err == nil {
+		// Count only collapses that actually served a result; a waiter
+		// that timed out is a Timeout, not saved work.
+		s.metrics.Deduplicated.Add(1)
+	}
+	return res, err
+}
+
+// admit reserves n job-queue slots, or reports the queue is full. The
+// caller owns decrementing Queued by n when its jobs finish.
+func (s *Server) admit(n int) bool {
+	if s.metrics.Queued.Add(int64(n)) > s.depth {
+		s.metrics.Queued.Add(int64(-n))
+		return false
+	}
+	return true
+}
+
+// run executes one artifact on a simulation slot through the Runner, so
+// the per-artifact seed split (and hence every byte of the result)
+// matches a direct Runner.Run of the same selection.
+func (s *Server) run(a experiments.Artifact, o experiments.Opts) experiments.Result {
+	s.sem <- struct{}{}
+	s.metrics.InFlight.Add(1)
+	defer func() {
+		s.metrics.InFlight.Add(-1)
+		<-s.sem
+	}()
+	s.metrics.CacheMisses.Add(1)
+	res := experiments.Runner{Opts: o, Workers: 1}.Run([]experiments.Artifact{a})[0]
+	res.Elapsed = 0 // determinism: responses depend only on (name, Opts)
+	return res
+}

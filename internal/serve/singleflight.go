@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/experiments"
+)
+
+// flightGroup collapses concurrent calls for the same key into one
+// execution: the first caller becomes the leader and runs fn; everyone
+// else (and the leader) waits for that one execution's outcome. Results
+// are deterministic, so sharing is always safe. The execution is
+// detached from any single caller's context — a waiter that times out
+// abandons the wait, but the computation completes and still populates
+// the cache, warming it for the next request.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed when res/err are set
+	res  experiments.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// Do returns the result of running fn under key, executing fn at most
+// once across all concurrent callers of the same key. shared reports
+// whether this caller joined a flight started by another. If ctx expires
+// before the flight lands, Do returns ctx.Err() but the flight keeps
+// flying for the remaining callers.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (experiments.Result, error)) (res experiments.Result, shared bool, err error) {
+	g.mu.Lock()
+	if f, inFlight := g.flights[key]; inFlight {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return experiments.Result{}, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		f.res, f.err = fn()
+		g.mu.Lock()
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+
+	select {
+	case <-f.done:
+		return f.res, false, f.err
+	case <-ctx.Done():
+		return experiments.Result{}, false, ctx.Err()
+	}
+}

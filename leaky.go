@@ -19,12 +19,16 @@
 package leaky
 
 import (
+	"net/http"
+	"time"
+
 	"repro/internal/attack"
 	"repro/internal/channel"
 	"repro/internal/cpu"
 	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/fingerprint"
+	"repro/internal/serve"
 	"repro/internal/sgx"
 	"repro/internal/spectre"
 	"repro/internal/ucode"
@@ -231,6 +235,33 @@ func RunExperiments(patterns []string, o ExperimentOpts, workers int) ([]Experim
 		return nil, err
 	}
 	return experiments.Runner{Opts: o, Workers: workers}.Run(arts), nil
+}
+
+// Server is the artifact-serving daemon core: a deterministic result
+// cache, singleflight request collapsing, and a bounded job queue in
+// front of the experiment registry. Every run is a pure function of
+// (artifact name, normalized options), so cached responses are
+// byte-identical to fresh ones and never expire.
+type Server = serve.Server
+
+// ServeConfig parameterizes a Server; the zero value serves the default
+// catalog with default options and sensible bounds.
+type ServeConfig = serve.Config
+
+// NewServer builds the serving layer. Mount NewServer(cfg).Handler() on
+// any http.Server, or use Serve for the one-liner.
+func NewServer(cfg ServeConfig) *Server { return serve.NewServer(cfg) }
+
+// Serve runs the artifact daemon on addr until the listener fails; see
+// cmd/leakyfed for a version with graceful shutdown and flags.
+func Serve(addr string, cfg ServeConfig) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           serve.NewServer(cfg).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
 }
 
 // runArtifact dispatches one named artifact through the registry with the
