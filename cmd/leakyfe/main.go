@@ -8,6 +8,7 @@
 //	leakyfe -run all -parallel 4 -timing
 //	leakyfe -run 'table*' -json
 //	leakyfe -run tableIII,figure8 -bits 400
+//	leakyfe -run all -progress -timeout 90s
 //
 // The -run flag takes a comma-separated list of experiment names as
 // printed by -list, matched case-insensitively ("TABLEiii" works), or
@@ -17,17 +18,30 @@
 // byte-identical for every -parallel value; tables print incrementally
 // as their catalog-order prefix completes. (JSON output additionally
 // embeds per-artifact wall-clock timings, which vary run to run.)
+//
+// Runs are cancellable: Ctrl-C (or an elapsed -timeout) unwinds every
+// in-flight artifact at its next cooperative checkpoint and skips the
+// rest. Artifacts that completed before the interrupt print exactly the
+// bytes an uninterrupted run would have printed; the cancelled ones are
+// listed on stderr and the exit status is non-zero. -progress reports
+// live per-artifact progress on stderr without perturbing stdout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	leaky "repro"
 	"repro/internal/experiments"
+	"repro/internal/runctx"
 )
 
 func main() {
@@ -40,6 +54,8 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max experiments in flight (artifact text is identical for any value)")
 		jsonOut  = flag.Bool("json", false, "emit structured JSON results instead of rendered tables")
 		timing   = flag.Bool("timing", false, "append per-artifact wall-clock timings (text mode)")
+		timeout  = flag.Duration("timeout", 0, "per-invocation deadline; exceeded runs are cancelled cooperatively (0 = none)")
+		progress = flag.Bool("progress", false, "report live experiment progress on stderr")
 	)
 	flag.Parse()
 
@@ -56,22 +72,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	// Ctrl-C / SIGTERM cancels the run cooperatively; completed tables
+	// have already been streamed, cancelled ones are reported below. A
+	// second interrupt kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// Once the run is cancelled, restore default signal handling so the
+	// second Ctrl-C actually kills the process instead of being
+	// swallowed while a long un-checkpointed section finishes.
+	context.AfterFunc(ctx, stop)
+	rc := runctx.New(ctx, progressSink(*progress))
+
 	rn := experiments.Runner{Opts: o, Workers: *parallel}
 	if *jsonOut {
-		b, err := experiments.RenderJSON(rn.Run(arts))
+		results := rn.RunEmitCtx(rc, arts, nil)
+		b, err := experiments.RenderJSON(results)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "leakyfe: encoding results: %v\n", err)
 			os.Exit(1)
 		}
 		os.Stdout.Write(append(b, '\n'))
+		exitCancelled(results)
 		return
 	}
 	// Stream each table as soon as its catalog-order prefix completes;
-	// the concatenation is byte-identical to a buffered RenderText.
-	results := rn.RunEmit(arts, func(r leaky.ExperimentResult) {
+	// the concatenation is byte-identical to a buffered RenderText over
+	// the completed artifacts.
+	results := rn.RunEmitCtx(rc, arts, func(r leaky.ExperimentResult) {
 		fmt.Print(experiments.RenderText([]experiments.Result{r}, false))
 	})
 	if *timing {
 		fmt.Print(experiments.RenderTimings(results))
 	}
+	exitCancelled(results)
+}
+
+// progressSink returns the stderr progress reporter, throttled so tight
+// per-bit checkpoints do not flood the terminal; nil when disabled.
+func progressSink(enabled bool) runctx.Sink {
+	if !enabled {
+		return nil
+	}
+	var mu sync.Mutex
+	var last time.Time
+	return func(ev runctx.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(last) < 200*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		if ev.Total > 0 {
+			fmt.Fprintf(os.Stderr, "leakyfe: %s: %s (%d/%d)\n", ev.Artifact, ev.Stage, ev.Done, ev.Total)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "leakyfe: %s: %s (%d)\n", ev.Artifact, ev.Stage, ev.Done)
+	}
+}
+
+// exitCancelled reports artifacts the run did not complete and exits
+// non-zero if there were any.
+func exitCancelled(results []leaky.ExperimentResult) {
+	var cancelled []string
+	for _, r := range results {
+		if r.Err != "" {
+			cancelled = append(cancelled, r.Name)
+		}
+	}
+	if len(cancelled) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "leakyfe: run cancelled before completing: %s\n", strings.Join(cancelled, ", "))
+	os.Exit(1)
 }

@@ -8,13 +8,20 @@
 // Usage:
 //
 //	leakyfed -addr :8080 -workers 4 -cache-size 1024 -default-seed 1
+//	leakyfed -cancel-abandoned   # free slots when the last waiter leaves
+//
+// Simulations are cancellable: shutdown (SIGINT/SIGTERM) cancels every
+// in-flight run at its next cooperative checkpoint before draining
+// connections, and with -cancel-abandoned an uncached run is also
+// cancelled as soon as its last HTTP waiter disconnects, instead of
+// finishing to warm the cache.
 //
 // Endpoints:
 //
 //	GET /v1/artifacts                 catalog
 //	GET /v1/artifacts/{name}          one result (?format=json|text, ?seed=, ?bits=, ?samples=)
-//	GET /v1/run?sel=table*            NDJSON stream in catalog order
-//	GET /healthz                      liveness
+//	GET /v1/run?sel=table*            NDJSON stream in catalog order (?progress=1 interleaves progress events)
+//	GET /healthz                      liveness; 503 when the job queue stays full
 //	GET /metrics                      Prometheus text counters
 package main
 
@@ -42,16 +49,18 @@ func main() {
 		seed      = flag.Uint64("default-seed", 1, "seed used when a request does not pass ?seed=")
 		bits      = flag.Int("default-bits", 200, "bits used when a request does not pass ?bits=")
 		samples   = flag.Int("default-samples", 100, "samples used when a request does not pass ?samples=")
-		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request wait bound (timed-out runs still warm the cache)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request wait bound (timed-out runs still warm the cache unless -cancel-abandoned)")
+		cancelAb  = flag.Bool("cancel-abandoned", false, "cancel an uncached run once its last HTTP waiter disconnects, freeing its worker slot immediately")
 	)
 	flag.Parse()
 
 	srv := leaky.NewServer(leaky.ServeConfig{
-		Opts:       leaky.ExperimentOpts{Bits: *bits, Seed: *seed, Samples: *samples},
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
-		Timeout:    *timeout,
+		Opts:            leaky.ExperimentOpts{Bits: *bits, Seed: *seed, Samples: *samples},
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		Timeout:         *timeout,
+		CancelAbandoned: *cancelAb,
 	})
 	hs := &http.Server{
 		Addr:    *addr,
@@ -75,6 +84,9 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
+	// Cancel in-flight simulations first so draining is not stuck
+	// behind runs nobody will be around to read, then drain connections.
+	srv.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runctx"
 )
 
 func fetch(base, path string) (*http.Response, error) {
@@ -73,21 +74,36 @@ func run(base string) error {
 		fmt.Printf("\nGET %s (#%d, %v):\n%s", path, attempt, time.Since(start).Round(time.Microsecond), body)
 	}
 
-	// 3. A streamed selection: NDJSON in catalog order.
-	resp, err = fetch(base, "/v1/run?sel=tableI,tableIV&bits=60")
+	// 3. A streamed selection with live progress: NDJSON in catalog
+	// order, with throttled {"progress": ...} events interleaved while
+	// uncached artifacts simulate (drop &progress=1 for the bare result
+	// stream). A result line with a non-empty err marks an artifact the
+	// server cancelled (shutdown, or -cancel-abandoned disconnect).
+	resp, err = fetch(base, "/v1/run?sel=tableI,tableIV&bits=60&progress=1")
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	fmt.Println("\nstreaming sel=tableI,tableIV:")
+	fmt.Println("\nstreaming sel=tableI,tableIV (progress on):")
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		var r experiments.Result
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+		var line struct {
+			experiments.Result
+			Progress *runctx.Event `json:"progress"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			return fmt.Errorf("bad NDJSON line: %w", err)
 		}
-		fmt.Printf("  %-10s (%s) seed=%d, %d rendered bytes\n", r.Name, r.Ref, r.Seed, len(r.Rendered))
+		switch {
+		case line.Progress != nil:
+			fmt.Printf("  ... %s: %s (%d/%d)\n",
+				line.Progress.Artifact, line.Progress.Stage, line.Progress.Done, line.Progress.Total)
+		case line.Err != "":
+			fmt.Printf("  %-10s cancelled: %s\n", line.Name, line.Err)
+		default:
+			fmt.Printf("  %-10s (%s) seed=%d, %d rendered bytes\n", line.Name, line.Ref, line.Seed, len(line.Rendered))
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("stream interrupted: %w", err)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/runctx"
 	"repro/internal/stats"
 )
 
@@ -58,6 +59,7 @@ func DefaultMT(model cpu.Model, kind Kind) MTConfig {
 type MT struct {
 	cfg  MTConfig
 	core *cpu.Core
+	rc   runctx.Ctx
 
 	recv   []*isa.Block
 	sender []*isa.Block
@@ -125,6 +127,12 @@ func NewMT(cfg MTConfig) *MT {
 	return a
 }
 
+// BindCtx implements channel.CtxAware: SendBit aborts between its
+// receiver measurement passes once rc is cancelled. The aborted bit's
+// measurement is discarded by the caller, so the early return never
+// reaches a result.
+func (a *MT) BindCtx(rc runctx.Ctx) { a.rc = rc }
+
 // Name implements channel.BitChannel.
 func (a *MT) Name() string { return fmt.Sprintf("MT %s", a.cfg.Kind) }
 
@@ -185,6 +193,9 @@ func (a *MT) SendBit(m byte) float64 {
 	}
 	meas := make([]float64, 0, a.cfg.Measurements)
 	for i := 0; i < a.cfg.Measurements; i++ {
+		if a.rc.Err() != nil {
+			return 0 // cancelled: the caller discards this bit
+		}
 		a.core.MeasureEnqueue(0, isa.NewLoopStream(a.recv, iters), func(v float64) {
 			meas = append(meas, v)
 		})

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/runctx"
 )
 
 // NonMTConfig parameterizes the single-threaded internal-interference
@@ -51,6 +52,7 @@ func DefaultNonMT(model cpu.Model, kind Kind, stealthy bool) NonMTConfig {
 type NonMT struct {
 	cfg  NonMTConfig
 	core *cpu.Core
+	rc   runctx.Ctx
 
 	one  []*isa.Block // per-iteration loop when sending 1
 	zero []*isa.Block // per-iteration loop when sending 0 (nil = fast variant, receiver-only)
@@ -88,6 +90,9 @@ func NewNonMT(cfg NonMTConfig) *NonMT {
 	a.base = chain(recv)
 	return a
 }
+
+// BindCtx implements channel.CtxAware.
+func (a *NonMT) BindCtx(rc runctx.Ctx) { a.rc = rc }
 
 // Name implements channel.BitChannel.
 func (a *NonMT) Name() string {
@@ -129,6 +134,9 @@ func (a *NonMT) SendBit(m byte) float64 {
 			encodeRan = false
 		}
 	}
+	if a.rc.Err() != nil {
+		return 0 // cancelled: the caller discards this bit
+	}
 	if encodeRan {
 		// The encode step's handshake occupies wall time; the fast
 		// variant skips it on zero bits, which is its rate edge.
@@ -160,6 +168,7 @@ func DefaultSlowSwitch(model cpu.Model) SlowSwitchConfig {
 type SlowSwitch struct {
 	cfg     SlowSwitchConfig
 	core    *cpu.Core
+	rc      runctx.Ctx
 	mixed   []*isa.Block
 	ordered []*isa.Block
 }
@@ -179,6 +188,9 @@ func NewSlowSwitch(cfg SlowSwitchConfig) *SlowSwitch {
 	}
 }
 
+// BindCtx implements channel.CtxAware.
+func (s *SlowSwitch) BindCtx(rc runctx.Ctx) { s.rc = rc }
+
 // Name implements channel.BitChannel.
 func (s *SlowSwitch) Name() string { return "Non-MT Slow-Switch-Based" }
 
@@ -190,6 +202,9 @@ func (s *SlowSwitch) Cycles() uint64 { return s.core.Cycle() }
 
 // SendBit implements channel.BitChannel.
 func (s *SlowSwitch) SendBit(m byte) float64 {
+	if s.rc.Err() != nil {
+		return 0 // cancelled: the caller discards this bit
+	}
 	blocks := s.ordered
 	if m == '1' {
 		blocks = s.mixed

@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/power"
 	"repro/internal/rng"
+	"repro/internal/runctx"
 )
 
 // PowerConfig parameterizes the power-based non-MT channels of
@@ -43,6 +44,7 @@ type Power struct {
 	cfg  PowerConfig
 	core *cpu.Core
 	r    *rng.RNG
+	rc   runctx.Ctx
 
 	one  []*isa.Block
 	zero []*isa.Block
@@ -67,6 +69,11 @@ func NewPower(cfg PowerConfig) *Power {
 	return p
 }
 
+// BindCtx implements channel.CtxAware. A power bit is the stack's most
+// expensive SendBit (>100k loop iterations), so skipping a cancelled
+// bit up front matters most here.
+func (p *Power) BindCtx(rc runctx.Ctx) { p.rc = rc }
+
 // Name implements channel.BitChannel.
 func (p *Power) Name() string {
 	return fmt.Sprintf("Non-MT Power %s", p.cfg.Kind)
@@ -85,6 +92,9 @@ func (p *Power) Core() *cpu.Core { return p.core }
 // returns the average package watts observed through RAPL over the bit
 // window, plus the model's power measurement noise.
 func (p *Power) SendBit(m byte) float64 {
+	if p.rc.Err() != nil {
+		return 0 // cancelled: the caller discards this bit
+	}
 	blocks := p.one
 	if m == '0' {
 		blocks = p.zero

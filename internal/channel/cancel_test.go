@@ -1,0 +1,70 @@
+package channel
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/runctx"
+)
+
+// countingChannel cancels the shared context after N sent bits, then
+// keeps counting: the number of bits sent after cancellation measures
+// checkpoint latency (must be 0 — the next checkpoint stops the run).
+type countingChannel struct {
+	fakeChannel
+	sent   int
+	stopAt int
+	cancel context.CancelFunc
+}
+
+func (c *countingChannel) SendBit(m byte) float64 {
+	c.sent++
+	if c.sent == c.stopAt {
+		c.cancel()
+	}
+	return c.fakeChannel.SendBit(m)
+}
+
+func TestTransmitCtxCancelStopsWithinOneBit(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := &countingChannel{fakeChannel: fakeChannel{r: rng.New(1)}, stopAt: 10, cancel: cancel}
+	_, err := TransmitCtx(runctx.New(ctx, nil), ch, "model", Alternating(64), 4)
+	if err != context.Canceled {
+		t.Fatalf("TransmitCtx = %v, want context.Canceled", err)
+	}
+	if ch.sent != 10 {
+		t.Errorf("channel sent %d bits after a cancel at bit 10", ch.sent)
+	}
+}
+
+// TestTransmitCtxCancelOnFinalBit: a cancellation landing inside the
+// last bit (where no further checkpoint follows) must still surface as
+// an error, never as a completed-but-corrupted Result.
+func TestTransmitCtxCancelOnFinalBit(t *testing.T) {
+	msg := Alternating(20)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := &countingChannel{fakeChannel: fakeChannel{r: rng.New(1)}, stopAt: 4 + len(msg), cancel: cancel}
+	res, err := TransmitCtx(runctx.New(ctx, nil), ch, "model", msg, 4)
+	if err != context.Canceled {
+		t.Fatalf("final-bit cancel: TransmitCtx = (%+v, %v), want context.Canceled", res, err)
+	}
+}
+
+func TestTransmitCtxMatchesTransmit(t *testing.T) {
+	var events int
+	rc := runctx.New(context.Background(), func(runctx.Event) { events++ })
+	got, err := TransmitCtx(rc, &fakeChannel{r: rng.New(7)}, "model", Alternating(48), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Transmit(&fakeChannel{r: rng.New(7)}, "model", Alternating(48), 8)
+	if got != want {
+		t.Errorf("TransmitCtx result differs from Transmit:\n%+v\nvs\n%+v", got, want)
+	}
+	if events != 8+48 {
+		t.Errorf("got %d progress events, want one per calibration+message bit (56)", events)
+	}
+}

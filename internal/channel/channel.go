@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/rng"
+	"repro/internal/runctx"
 	"repro/internal/stats"
 )
 
@@ -48,17 +49,59 @@ func (r Result) String() string {
 		r.Channel, r.Model, r.RateKbps, 100*r.ErrorRate)
 }
 
+// CtxAware is implemented by channels whose SendBit contains long inner
+// loops of its own. TransmitCtx binds the run context before the first
+// bit so such a channel can abort between its internal measurements as
+// soon as the run is cancelled, instead of finishing the bit first.
+// Binding must not perturb an uncancelled transmission: implementations
+// may only consult the context's cancellation state, never its
+// progress sink or RNG-affecting machinery.
+type CtxAware interface {
+	BindCtx(runctx.Ctx)
+}
+
 // Transmit calibrates ch on a short alternating preamble, transmits
 // message, and returns the measured rates. The calibration samples are
 // not charged to the transmission time (the paper reports steady-state
 // channel rates, with thresholds established beforehand).
 func Transmit(ch BitChannel, modelName, message string, calibBits int) Result {
-	th := Calibrate(ch, calibBits)
+	res, _ := TransmitCtx(runctx.Background(), ch, modelName, message, calibBits)
+	return res
+}
+
+// TransmitCtx is Transmit with cooperative cancellation and progress:
+// it checkpoints once per calibration and message bit, returning the
+// context's error (and a zero Result) if the run is cancelled mid-
+// transmission. An uncancelled TransmitCtx is byte-identical to
+// Transmit — checkpoints never touch the channel or its RNG.
+func TransmitCtx(rc runctx.Ctx, ch BitChannel, modelName, message string, calibBits int) (Result, error) {
+	if ca, ok := ch.(CtxAware); ok {
+		ca.BindCtx(rc)
+	}
+	if calibBits < 2 {
+		calibBits = 2
+	}
+	stage := ch.Name() + " @ " + modelName
+	total := calibBits + len(message)
+	th, err := calibrate(rc, ch, calibBits, stage, total)
+	if err != nil {
+		return Result{}, err
+	}
 	startCycles := ch.Cycles()
 	var received strings.Builder
 	for i := 0; i < len(message); i++ {
+		if err := rc.Step(stage, calibBits+i, total); err != nil {
+			return Result{}, err
+		}
 		m := ch.SendBit(message[i])
 		received.WriteByte(th.Classify(m))
+	}
+	// A CtxAware channel aborts mid-bit with a garbage measurement when
+	// cancelled; every loop above re-checks before the next bit, but a
+	// cancellation landing inside the final bit has no next checkpoint,
+	// so re-check here lest a corrupted Result pass as completed.
+	if err := rc.Err(); err != nil {
+		return Result{}, err
 	}
 	cycles := ch.Cycles() - startCycles
 	seconds := float64(cycles) / (ch.FreqGHz() * 1e9)
@@ -75,7 +118,7 @@ func Transmit(ch BitChannel, modelName, message string, calibBits int) Result {
 		Seconds:   seconds,
 		RateKbps:  rate,
 		ErrorRate: stats.BitErrorRate(message, received.String()),
-	}
+	}, nil
 }
 
 // Calibrate sends an alternating 0/1 preamble through the channel and
@@ -84,15 +127,25 @@ func Calibrate(ch BitChannel, bits int) stats.Threshold {
 	if bits < 2 {
 		bits = 2
 	}
+	th, _ := calibrate(runctx.Background(), ch, bits, "calibrate", bits)
+	return th
+}
+
+// calibrate is Calibrate with a per-preamble-bit checkpoint; done/total
+// progress is reported against the caller's transmission-wide total.
+func calibrate(rc runctx.Ctx, ch BitChannel, bits int, stage string, total int) (stats.Threshold, error) {
 	var zeros, ones []float64
 	for i := 0; i < bits; i++ {
+		if err := rc.Step(stage, i, total); err != nil {
+			return stats.Threshold{}, err
+		}
 		if i%2 == 0 {
 			zeros = append(zeros, ch.SendBit('0'))
 		} else {
 			ones = append(ones, ch.SendBit('1'))
 		}
 	}
-	return stats.Calibrate(zeros, ones)
+	return stats.Calibrate(zeros, ones), nil
 }
 
 // Message patterns of Table II.

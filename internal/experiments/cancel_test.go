@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowStub returns an artifact that spins on cooperative checkpoints
+// forever (or for spins iterations if spins > 0), signalling started on
+// its first checkpoint. It is the probe for cancellation latency: the
+// only way it ever returns early is the runner's ctx unwinding it.
+func slowStub(name string, spins int, started chan<- struct{}) Artifact {
+	var once sync.Once
+	return Artifact{
+		Name: name, Ref: "-", Desc: "slow stub",
+		Run: func(rc RunCtx, o Opts) (any, string, error) {
+			for i := 0; spins <= 0 || i < spins; i++ {
+				if err := rc.Step("spin", i, spins); err != nil {
+					return nil, "", err
+				}
+				once.Do(func() {
+					if started != nil {
+						close(started)
+					}
+				})
+				time.Sleep(100 * time.Microsecond)
+			}
+			return nil, name + " done\n", nil
+		},
+	}
+}
+
+// renderStub returns an artifact whose rendering depends only on its
+// derived seed, so byte-identity across runs is meaningful.
+func renderStub(name string) Artifact {
+	return Artifact{
+		Name: name, Ref: "-", Desc: "render stub",
+		Run: func(rc RunCtx, o Opts) (any, string, error) {
+			return nil, name + " seed=" + time.Duration(o.Seed).String() + "\n", nil
+		},
+	}
+}
+
+// TestCancelMidRunReturnsPromptly: cancelling a multi-artifact run
+// mid-flight unwinds the in-flight slow artifact at its next checkpoint,
+// marks it (and everything not yet started) with Err, and leaves the
+// completed artifacts byte-identical to an uncancelled run.
+func TestCancelMidRunReturnsPromptly(t *testing.T) {
+	arts := []Artifact{renderStub("first"), slowStub("slow", 0, nil), renderStub("last")}
+	started := make(chan struct{})
+	arts[1] = slowStub("slow", 0, started)
+
+	// Reference: what the completed artifacts render without any
+	// cancellation (bounded stub so it terminates).
+	ref := Runner{Opts: Opts{Seed: 9}, Workers: 1}.Run(
+		[]Artifact{renderStub("first"), renderStub("last")})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rn := Runner{Opts: Opts{Seed: 9}, Workers: 1}
+	done := make(chan []Result, 1)
+	go func() { done <- rn.RunEmitCtx(NewRunCtx(ctx, nil), arts, nil) }()
+	<-started
+	cancel()
+
+	var results []Result
+	select {
+	case results = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run did not return within 5s of cancel")
+	}
+	if results[0].Err != "" || results[0].Rendered != ref[0].Rendered {
+		t.Errorf("completed artifact perturbed by cancellation: %+v", results[0])
+	}
+	if results[1].Err == "" {
+		t.Error("in-flight slow artifact not marked cancelled")
+	}
+	if results[2].Err == "" || results[2].Rendered != "" {
+		t.Errorf("not-yet-started artifact should be skipped with Err, got %+v", results[2])
+	}
+	if results[1].Seed != rn.ArtifactOpts("slow").Seed {
+		t.Error("cancelled result lost its derived seed")
+	}
+	// Rendered text of the partial run is the completed artifacts only.
+	text := RenderText(results, false)
+	if strings.Contains(text, "slow") || !strings.Contains(text, "first seed=") {
+		t.Errorf("partial rendering wrong:\n%s", text)
+	}
+}
+
+// TestCancelledCompletedBytesIdentical: for every cancellation point,
+// artifacts that completed render exactly the bytes of an uninterrupted
+// run with the same top-level seed (per-artifact seed splitting makes
+// completed work independent of what was cancelled around it).
+func TestCancelledCompletedBytesIdentical(t *testing.T) {
+	full := Runner{Opts: Opts{Seed: 4}, Workers: 2}.Run(
+		[]Artifact{renderStub("a"), renderStub("b"), renderStub("c")})
+	byName := map[string]Result{}
+	for _, r := range full {
+		byName[r.Name] = r
+	}
+
+	started := make(chan struct{})
+	arts := []Artifact{renderStub("a"), slowStub("slow", 0, started), renderStub("b"), renderStub("c")}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan []Result, 1)
+	go func() {
+		done <- Runner{Opts: Opts{Seed: 4}, Workers: 2}.RunEmitCtx(NewRunCtx(ctx, nil), arts, nil)
+	}()
+	<-started
+	cancel()
+	results := <-done
+	for _, r := range results {
+		if r.Err != "" {
+			continue
+		}
+		want, ok := byName[r.Name]
+		if !ok {
+			t.Fatalf("unexpected completed artifact %q", r.Name)
+		}
+		if r.Rendered != want.Rendered || r.Seed != want.Seed {
+			t.Errorf("%s: completed bytes differ from uninterrupted run", r.Name)
+		}
+	}
+}
+
+// TestEmitOrderPreservedUnderCancel: RunEmitCtx still emits every
+// result in input order when a run is cancelled partway.
+func TestEmitOrderPreservedUnderCancel(t *testing.T) {
+	started := make(chan struct{})
+	arts := []Artifact{renderStub("a"), slowStub("slow", 0, started), renderStub("b")}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-started
+		cancel()
+	}()
+	var emitted []string
+	Runner{Opts: Opts{Seed: 2}, Workers: 1}.RunEmitCtx(NewRunCtx(ctx, nil), arts, func(r Result) {
+		emitted = append(emitted, r.Name)
+	})
+	if strings.Join(emitted, ",") != "a,slow,b" {
+		t.Errorf("emission order %v", emitted)
+	}
+}
+
+// TestProgressEventsCarryArtifact: the runner attributes progress ticks
+// to the artifact that emitted them, and a completed run reports
+// progress from every stage of a sweeping artifact.
+func TestProgressEventsCarryArtifact(t *testing.T) {
+	var events atomic.Int64
+	var wrong atomic.Int64
+	sink := func(ev Progress) {
+		events.Add(1)
+		if ev.Artifact != "spinner" {
+			wrong.Add(1)
+		}
+	}
+	arts := []Artifact{slowStub("spinner", 5, nil)}
+	res := Runner{Opts: Opts{Seed: 1}}.RunEmitCtx(NewRunCtx(context.Background(), sink), arts, nil)
+	if res[0].Err != "" {
+		t.Fatalf("bounded stub errored: %s", res[0].Err)
+	}
+	if events.Load() != 5 {
+		t.Errorf("got %d progress events, want 5", events.Load())
+	}
+	if wrong.Load() != 0 {
+		t.Errorf("%d events missed the artifact attribution", wrong.Load())
+	}
+}

@@ -84,24 +84,33 @@ type Figure2Data struct {
 // Gold 6226: per-pass timings of an 8-block chain streaming from the
 // LSD, the same chain with the LSD disabled (DSB), and a 9-block
 // same-set chain that thrashes into MITE+DSB.
-func Figure2(o Opts) (Figure2Data, string) {
+func Figure2(rc RunCtx, o Opts) (Figure2Data, string, error) {
 	o = o.Normalize()
 	const passes = 400
-	run := func(model cpu.Model, blocks []*isa.Block) []float64 {
+	run := func(path string, model cpu.Model, blocks []*isa.Block) ([]float64, error) {
 		core := cpu.NewCore(model, o.Seed)
 		core.Enqueue(0, isa.NewLoopStream(blocks, 10), nil) // warmup
 		core.RunUntilIdle(10_000_000)
 		out := make([]float64, passes)
 		for i := range out {
+			if err := rc.Step("timing "+path, i, passes); err != nil {
+				return nil, err
+			}
 			out[i] = core.RunTimedTight(0, isa.NewLoopStream(blocks, 8))
 		}
-		return out
+		return out, nil
 	}
 	g := cpu.Gold6226()
-	d := Figure2Data{
-		LSD:  run(g, isa.MixChain(3, 8, true)),
-		DSB:  run(g.WithLSD(false), isa.MixChain(3, 8, true)),
-		MITE: run(g, isa.MixChain(3, 9, true)),
+	var d Figure2Data
+	var err error
+	if d.LSD, err = run("LSD", g, isa.MixChain(3, 8, true)); err != nil {
+		return Figure2Data{}, "", err
+	}
+	if d.DSB, err = run("DSB", g.WithLSD(false), isa.MixChain(3, 8, true)); err != nil {
+		return Figure2Data{}, "", err
+	}
+	if d.MITE, err = run("MITE+DSB", g, isa.MixChain(3, 9, true)); err != nil {
+		return Figure2Data{}, "", err
 	}
 	lo := stats.Min(d.DSB) - 20
 	hi := stats.Max(d.MITE) + 20
@@ -117,7 +126,7 @@ func Figure2(o Opts) (Figure2Data, string) {
 		}
 		fmt.Fprintf(&b, "\n%s delivery (mean %.0f):\n%s", row.name, stats.Mean(row.xs), h.Render(40))
 	}
-	return d, b.String()
+	return d, b.String(), nil
 }
 
 // Figure4Row holds one issue pattern's counters, extrapolated to the
@@ -133,8 +142,9 @@ type Figure4Row struct {
 
 // Figure4 reproduces the mixed- vs ordered-issue LCP experiment
 // (Figure 4) by simulating a steady-state window and scaling the
-// counters to 800M iterations.
-func Figure4(o Opts) ([2]Figure4Row, string) {
+// counters to 800M iterations. Each issue pattern is one indivisible
+// simulation window, so the run checkpoints between the two patterns.
+func Figure4(rc RunCtx, o Opts) ([2]Figure4Row, string, error) {
 	o = o.Normalize()
 	const simIters = 3000
 	const paperIters = 800e6
@@ -160,7 +170,15 @@ func Figure4(o Opts) ([2]Figure4Row, string) {
 			IPC:           float64(d.UOps()) / cycles,
 		}
 	}
-	rows := [2]Figure4Row{run(true, "Mixed Issue"), run(false, "Ordered Issue")}
+	var rows [2]Figure4Row
+	if err := rc.Step("LCP issue patterns", 0, 2); err != nil {
+		return [2]Figure4Row{}, "", err
+	}
+	rows[0] = run(true, "Mixed Issue")
+	if err := rc.Step("LCP issue patterns", 1, 2); err != nil {
+		return [2]Figure4Row{}, "", err
+	}
+	rows[1] = run(false, "Ordered Issue")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 4: LCP issue patterns, counters scaled to 800M iterations (Gold 6226)\n")
 	fmt.Fprintf(&b, "%-14s %12s %12s %14s %14s %6s\n", "Pattern", "MITE uops", "DSB uops", "LCP stall cyc", "switch cyc", "IPC")
@@ -168,13 +186,13 @@ func Figure4(o Opts) ([2]Figure4Row, string) {
 		fmt.Fprintf(&b, "%-14s %12.2e %12.2e %14.2e %14.2e %6.2f\n",
 			r.Pattern, r.MITEUOps, r.DSBUOps, r.LCPStallCyc, r.SwitchPenalty, r.IPC)
 	}
-	return rows, b.String()
+	return rows, b.String(), nil
 }
 
 // TableII reproduces the message-pattern study (Table II): the MT
 // eviction channel at d=1 for all-0s, all-1s, alternating, and random
 // messages on the three hyper-threaded machines.
-func TableII(o Opts) ([]channel.Result, string) {
+func TableII(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	o = o.Normalize()
 	models := []cpu.Model{cpu.Gold6226(), cpu.XeonE2174G(), cpu.XeonE2286G()}
 	patterns := []struct {
@@ -190,8 +208,12 @@ func TableII(o Opts) ([]channel.Result, string) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table II: MT Eviction-Based channel, d=1, by message pattern\n")
 	fmt.Fprintf(&b, "%-12s %-14s %12s %10s\n", "Pattern", "Model", "Rate (Kbps)", "Error")
+	done, total := 0, len(patterns)*len(models)
 	for _, p := range patterns {
 		for _, m := range models {
+			if err := rc.Step("pattern sweep", done, total); err != nil {
+				return nil, "", err
+			}
 			cfg := attack.DefaultMT(m, attack.Eviction)
 			cfg.D = 1
 			// A single-way receiver needs the contended-sender protocol:
@@ -199,34 +221,48 @@ func TableII(o Opts) ([]channel.Result, string) {
 			cfg.ContendedSender = true
 			cfg.Seed = o.Seed
 			ch := attack.NewMT(cfg)
-			res := channel.Transmit(ch, m.Name, p.gen(o.Bits), 30)
+			res, err := channel.TransmitCtx(rc, ch, m.Name, p.gen(o.Bits), 30)
+			if err != nil {
+				return nil, "", err
+			}
 			res.Channel = p.name
 			results = append(results, res)
+			done++
 			fmt.Fprintf(&b, "%-12s %-14s %12.2f %9.2f%%\n", p.name, m.Name, res.RateKbps, 100*res.ErrorRate)
 		}
 	}
-	return results, b.String()
+	return results, b.String(), nil
 }
 
 // TableIII reproduces the main covert-channel matrix (Table III): all
 // eviction- and misalignment-based channels on all four machines.
-func TableIII(o Opts) ([]channel.Result, string) {
+func TableIII(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	o = o.Normalize()
 	msg := channel.Alternating(o.Bits)
 	var results []channel.Result
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table III: covert-channel transmission and error rates (alternating message)\n")
 	fmt.Fprintf(&b, "%-40s %-14s %12s %10s\n", "Channel", "Model", "Rate (Kbps)", "Error")
-	emit := func(res channel.Result) {
+	emit := func(ch channel.BitChannel, model string) error {
+		if err := rc.Step("channel matrix", len(results), 22); err != nil {
+			return err
+		}
+		res, err := channel.TransmitCtx(rc, ch, model, msg, 40)
+		if err != nil {
+			return err
+		}
 		results = append(results, res)
 		fmt.Fprintf(&b, "%-40s %-14s %12.2f %9.2f%%\n", res.Channel, res.Model, res.RateKbps, 100*res.ErrorRate)
+		return nil
 	}
 	for _, kind := range []attack.Kind{attack.Eviction, attack.Misalignment} {
 		for _, stealthy := range []bool{true, false} {
 			for _, m := range cpu.Models() {
 				cfg := attack.DefaultNonMT(m, kind, stealthy)
 				cfg.Seed = o.Seed
-				emit(channel.Transmit(attack.NewNonMT(cfg), m.Name, msg, 40))
+				if err := emit(attack.NewNonMT(cfg), m.Name); err != nil {
+					return nil, "", err
+				}
 			}
 		}
 		for _, m := range cpu.Models() {
@@ -235,14 +271,16 @@ func TableIII(o Opts) ([]channel.Result, string) {
 			}
 			cfg := attack.DefaultMT(m, kind)
 			cfg.Seed = o.Seed
-			emit(channel.Transmit(attack.NewMT(cfg), m.Name, msg, 40))
+			if err := emit(attack.NewMT(cfg), m.Name); err != nil {
+				return nil, "", err
+			}
 		}
 	}
-	return results, b.String()
+	return results, b.String(), nil
 }
 
 // TableIV reproduces the slow-switch channel rows (Table IV).
-func TableIV(o Opts) ([]channel.Result, string) {
+func TableIV(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	o = o.Normalize()
 	msg := channel.Alternating(o.Bits)
 	var results []channel.Result
@@ -252,16 +290,19 @@ func TableIV(o Opts) ([]channel.Result, string) {
 	for _, m := range []cpu.Model{cpu.Gold6226(), cpu.XeonE2288G()} {
 		cfg := attack.DefaultSlowSwitch(m)
 		cfg.Seed = o.Seed
-		res := channel.Transmit(attack.NewSlowSwitch(cfg), m.Name, msg, 40)
+		res, err := channel.TransmitCtx(rc, attack.NewSlowSwitch(cfg), m.Name, msg, 40)
+		if err != nil {
+			return nil, "", err
+		}
 		results = append(results, res)
 		fmt.Fprintf(&b, "%-14s %12.2f %9.2f%%\n", m.Name, res.RateKbps, 100*res.ErrorRate)
 	}
-	return results, b.String()
+	return results, b.String(), nil
 }
 
 // TableV reproduces the power channels (Table V) on the Gold 6226. Bits
 // default lower because each power bit needs >100k iterations.
-func TableV(o Opts) ([]channel.Result, string) {
+func TableV(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	o = o.Normalize()
 	bits := o.Bits / 12
 	if bits < 8 {
@@ -275,16 +316,19 @@ func TableV(o Opts) ([]channel.Result, string) {
 	for _, kind := range []attack.Kind{attack.Eviction, attack.Misalignment} {
 		cfg := attack.DefaultPower(cpu.Gold6226(), kind)
 		cfg.Seed = o.Seed
-		res := channel.Transmit(attack.NewPower(cfg), "Gold 6226", msg, 6)
+		res, err := channel.TransmitCtx(rc, attack.NewPower(cfg), "Gold 6226", msg, 6)
+		if err != nil {
+			return nil, "", err
+		}
 		results = append(results, res)
 		fmt.Fprintf(&b, "%-26s %12.2f %9.2f%%\n", res.Channel, res.RateKbps, 100*res.ErrorRate)
 	}
-	return results, b.String()
+	return results, b.String(), nil
 }
 
 // TableVI reproduces the SGX channel matrix (Table VI) on the three
 // SGX-capable machines.
-func TableVI(o Opts) ([]channel.Result, string) {
+func TableVI(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	o = o.Normalize()
 	bits := o.Bits / 4
 	if bits < 12 {
@@ -296,16 +340,26 @@ func TableVI(o Opts) ([]channel.Result, string) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table VI: SGX covert channels (alternating message)\n")
 	fmt.Fprintf(&b, "%-40s %-14s %12s %10s\n", "Channel", "Model", "Rate (Kbps)", "Error")
-	emit := func(res channel.Result) {
+	emit := func(ch channel.BitChannel, model string, calib int) error {
+		if err := rc.Step("SGX matrix", len(results), 16); err != nil {
+			return err
+		}
+		res, err := channel.TransmitCtx(rc, ch, model, msg, calib)
+		if err != nil {
+			return err
+		}
 		results = append(results, res)
 		fmt.Fprintf(&b, "%-40s %-14s %12.2f %9.2f%%\n", res.Channel, res.Model, res.RateKbps, 100*res.ErrorRate)
+		return nil
 	}
 	for _, kind := range []attack.Kind{attack.Eviction, attack.Misalignment} {
 		for _, stealthy := range []bool{true, false} {
 			for _, m := range models {
 				cfg := attack.DefaultNonMT(m, kind, stealthy)
 				cfg.Seed = o.Seed
-				emit(channel.Transmit(sgx.NewNonMT(cfg), m.Name, msg, 10))
+				if err := emit(sgx.NewNonMT(cfg), m.Name, 10); err != nil {
+					return nil, "", err
+				}
 			}
 		}
 		for _, m := range models {
@@ -314,14 +368,16 @@ func TableVI(o Opts) ([]channel.Result, string) {
 			}
 			cfg := attack.DefaultMT(m, kind)
 			cfg.Seed = o.Seed
-			emit(channel.Transmit(sgx.NewMT(cfg), m.Name, msg, 8))
+			if err := emit(sgx.NewMT(cfg), m.Name, 8); err != nil {
+				return nil, "", err
+			}
 		}
 	}
-	return results, b.String()
+	return results, b.String(), nil
 }
 
 // TableVII reproduces the Spectre v1 L1 miss-rate comparison (Table VII).
-func TableVII(o Opts) ([]spectre.Result, string) {
+func TableVII(rc RunCtx, o Opts) ([]spectre.Result, string, error) {
 	o = o.Normalize()
 	secret := []byte{3, 17, 29, 8, 0, 31, 12, 22}
 	channels := []spectre.Channel{
@@ -332,14 +388,20 @@ func TableVII(o Opts) ([]spectre.Result, string) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table VII: Spectre v1 covert channels, L1 miss rates (Gold 6226)\n")
 	fmt.Fprintf(&b, "%-10s %14s %10s\n", "Channel", "L1 miss rate", "Accuracy")
-	for _, ch := range channels {
+	for i, ch := range channels {
+		if err := rc.Step("spectre channels", i, len(channels)); err != nil {
+			return nil, "", err
+		}
 		cfg := spectre.DefaultConfig(ch)
 		cfg.Seed = o.Seed
-		res := spectre.NewLab(cfg).Leak(secret)
+		res, err := spectre.NewLab(cfg).LeakCtx(rc, secret)
+		if err != nil {
+			return nil, "", err
+		}
 		results = append(results, res)
 		fmt.Fprintf(&b, "%-10v %13.2f%% %9.0f%%\n", ch, 100*res.L1MissRate, 100*res.Accuracy)
 	}
-	return results, b.String()
+	return results, b.String(), nil
 }
 
 // Figure8Point is one d-sweep sample.
@@ -353,7 +415,7 @@ type Figure8Point struct {
 
 // Figure8 reproduces the MT eviction d-sweep (Figure 8) on the three
 // hyper-threaded machines.
-func Figure8(o Opts) ([]Figure8Point, string) {
+func Figure8(rc RunCtx, o Opts) ([]Figure8Point, string, error) {
 	o = o.Normalize()
 	bits := o.Bits / 2
 	if bits < 40 {
@@ -366,17 +428,23 @@ func Figure8(o Opts) ([]Figure8Point, string) {
 	fmt.Fprintf(&b, "%-14s %3s %12s %10s %12s\n", "Model", "d", "Rate (Kbps)", "Error", "Effective")
 	for _, m := range []cpu.Model{cpu.Gold6226(), cpu.XeonE2174G(), cpu.XeonE2286G()} {
 		for d := 1; d <= 8; d++ {
+			if err := rc.Step("d sweep", len(pts), 3*8); err != nil {
+				return nil, "", err
+			}
 			cfg := attack.DefaultMT(m, attack.Eviction)
 			cfg.D = d
 			cfg.Seed = o.Seed
-			res := channel.Transmit(attack.NewMT(cfg), m.Name, msg, 30)
+			res, err := channel.TransmitCtx(rc, attack.NewMT(cfg), m.Name, msg, 30)
+			if err != nil {
+				return nil, "", err
+			}
 			p := Figure8Point{Model: m.Name, D: d, RateKbps: res.RateKbps,
 				ErrorRate: res.ErrorRate, Effective: res.RateKbps * (1 - res.ErrorRate)}
 			pts = append(pts, p)
 			fmt.Fprintf(&b, "%-14s %3d %12.2f %9.2f%% %12.2f\n", p.Model, d, p.RateKbps, 100*p.ErrorRate, p.Effective)
 		}
 	}
-	return pts, b.String()
+	return pts, b.String(), nil
 }
 
 // Figure9Data holds per-path power samples.
@@ -385,29 +453,38 @@ type Figure9Data struct {
 }
 
 // Figure9 reproduces the per-path power histogram (Figure 9).
-func Figure9(o Opts) (Figure9Data, string) {
+func Figure9(rc RunCtx, o Opts) (Figure9Data, string, error) {
 	o = o.Normalize()
 	const windows = 300
-	run := func(model cpu.Model, blocks []*isa.Block) []float64 {
+	run := func(path string, model cpu.Model, blocks []*isa.Block) ([]float64, error) {
 		core := cpu.NewCore(model, o.Seed)
 		r := rng.New(o.Seed).Fork(11)
 		core.Enqueue(0, isa.NewLoopStream(blocks, 20), nil)
 		core.RunUntilIdle(10_000_000)
 		out := make([]float64, 0, windows)
 		for i := 0; i < windows; i++ {
+			if err := rc.Step("power "+path, i, windows); err != nil {
+				return nil, err
+			}
 			e0, c0 := core.PM.TrueEnergy(), core.Cycle()
 			core.Enqueue(0, isa.NewLoopStream(blocks, 60), nil)
 			core.RunUntilIdle(10_000_000)
 			w := power.AvgWatts(core.PM.TrueEnergy()-e0, core.Cycle()-c0)
 			out = append(out, w+r.NormScaled(0, 0.6))
 		}
-		return out
+		return out, nil
 	}
 	g := cpu.Gold6226()
-	d := Figure9Data{
-		LSD:  run(g, isa.MixChain(3, 8, true)),
-		DSB:  run(g.WithLSD(false), isa.MixChain(3, 8, true)),
-		MITE: run(g, isa.MixChain(3, 9, true)),
+	var d Figure9Data
+	var err error
+	if d.LSD, err = run("LSD", g, isa.MixChain(3, 8, true)); err != nil {
+		return Figure9Data{}, "", err
+	}
+	if d.DSB, err = run("DSB", g.WithLSD(false), isa.MixChain(3, 8, true)); err != nil {
+		return Figure9Data{}, "", err
+	}
+	if d.MITE, err = run("MITE+DSB", g, isa.MixChain(3, 9, true)); err != nil {
+		return Figure9Data{}, "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 9: package power by frontend path (Gold 6226)\n")
@@ -421,15 +498,20 @@ func Figure9(o Opts) (Figure9Data, string) {
 		}
 		fmt.Fprintf(&b, "\n%s delivery (mean %.1f W):\n%s", row.name, stats.Mean(row.xs), h.Render(40))
 	}
-	return d, b.String()
+	return d, b.String(), nil
 }
 
 // Figure10 reproduces the microcode patch fingerprinting measurements.
-func Figure10(o Opts) ([2]ucode.Observation, string) {
+// Each observation is one indivisible simulation, so the run
+// checkpoints between patches and before the timing detectors.
+func Figure10(rc RunCtx, o Opts) ([2]ucode.Observation, string, error) {
 	o = o.Normalize()
-	obs := [2]ucode.Observation{
-		ucode.Observe(cpu.Gold6226(), ucode.Patch1, o.Seed),
-		ucode.Observe(cpu.Gold6226(), ucode.Patch2, o.Seed),
+	var obs [2]ucode.Observation
+	for i, p := range [2]ucode.Patch{ucode.Patch1, ucode.Patch2} {
+		if err := rc.Step("observe patches", i, 3); err != nil {
+			return [2]ucode.Observation{}, "", err
+		}
+		obs[i] = ucode.Observe(cpu.Gold6226(), p, o.Seed)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 10: microcode patch fingerprinting (Gold 6226)\n")
@@ -438,15 +520,18 @@ func Figure10(o Opts) ([2]ucode.Observation, string) {
 		fmt.Fprintf(&b, "%-38s %14.2f %14.2f %10.1f %10.1f\n",
 			ob.Patch, ob.SmallLoopCycles, ob.LargeLoopCycles, ob.SmallLoopWatts, ob.LargeLoopWatts)
 	}
+	if err := rc.Step("observe patches", 2, 3); err != nil {
+		return [2]ucode.Observation{}, "", err
+	}
 	t1 := ucode.DetectByTiming(cpu.Gold6226(), ucode.Patch1, o.Seed)
 	t2 := ucode.DetectByTiming(cpu.Gold6226(), ucode.Patch2, o.Seed)
 	fmt.Fprintf(&b, "timing detector: patch1 -> %v, patch2 -> %v\n", t1, t2)
-	return obs, b.String()
+	return obs, b.String(), nil
 }
 
 // Figure11 reproduces the attacker IPC traces against the four CNN
 // victims.
-func Figure11(o Opts) (map[string][]float64, string) {
+func Figure11(rc RunCtx, o Opts) (map[string][]float64, string, error) {
 	o = o.Normalize()
 	cfg := fingerprint.DefaultConfig(cpu.Gold6226())
 	cfg.Seed = o.Seed
@@ -456,12 +541,15 @@ func Figure11(o Opts) (map[string][]float64, string) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 11: attacker IPC traces per CNN victim (baseline solo IPC %.2f)\n", base)
 	for _, w := range victim.CNNs() {
-		tr := fingerprint.Trace(cfg, w)
+		tr, err := fingerprint.TraceCtx(rc, cfg, w)
+		if err != nil {
+			return nil, "", err
+		}
 		traces[w.Name] = tr
 		fmt.Fprintf(&b, "%-12s mean=%.2f min=%.2f max=%.2f stddev=%.3f\n",
 			w.Name, stats.Mean(tr), stats.Min(tr), stats.Max(tr), stats.StdDev(tr))
 	}
-	return traces, b.String()
+	return traces, b.String(), nil
 }
 
 // Figure12Data pairs the two distance studies for structured output.
@@ -472,17 +560,21 @@ type Figure12Data struct {
 
 // Figure12 reproduces the inter/intra distance study for the CNNs plus
 // the Geekbench suite statistic of Section XI-B.
-func Figure12(o Opts) (cnn, gb fingerprint.Distances, rendered string) {
+func Figure12(rc RunCtx, o Opts) (cnn, gb fingerprint.Distances, rendered string, err error) {
 	o = o.Normalize()
 	cfg := fingerprint.DefaultConfig(cpu.Gold6226())
 	cfg.Seed = o.Seed
 	cfg.Samples = o.Samples
-	cnn = fingerprint.Study(cfg, victim.CNNs())
-	gb = fingerprint.Study(cfg, victim.Geekbench())
+	if cnn, err = fingerprint.StudyCtx(rc, cfg, victim.CNNs()); err != nil {
+		return fingerprint.Distances{}, fingerprint.Distances{}, "", err
+	}
+	if gb, err = fingerprint.StudyCtx(rc, cfg, victim.Geekbench()); err != nil {
+		return fingerprint.Distances{}, fingerprint.Distances{}, "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 12 / Section XI-B: fingerprinting distances\n\n")
 	fmt.Fprintf(&b, "CNN distance matrix:\n%s\n", cnn.Matrix)
 	fmt.Fprintf(&b, "CNN:       intra=%.3f  inter=%.3f\n", cnn.Intra, cnn.Inter)
 	fmt.Fprintf(&b, "Geekbench: intra=%.3f  inter=%.3f\n", gb.Intra, gb.Inter)
-	return cnn, gb, b.String()
+	return cnn, gb, b.String(), nil
 }

@@ -26,7 +26,10 @@ func TestTableI(t *testing.T) {
 }
 
 func TestFigure2Ordering(t *testing.T) {
-	d, s := Figure2(small())
+	d, s, err := Figure2(RunCtx{}, small())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(s, "MITE+DSB") {
 		t.Error("rendering incomplete")
 	}
@@ -37,7 +40,7 @@ func TestFigure2Ordering(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	rows, _ := Figure4(small())
+	rows, _, _ := Figure4(RunCtx{}, small())
 	mixed, ordered := rows[0], rows[1]
 	if mixed.IPC <= ordered.IPC {
 		t.Errorf("mixed IPC %.2f should exceed ordered %.2f", mixed.IPC, ordered.IPC)
@@ -52,7 +55,7 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestTableIIShape(t *testing.T) {
-	res, _ := TableII(small())
+	res, _, _ := TableII(RunCtx{}, small())
 	if len(res) != 12 {
 		t.Fatalf("got %d rows, want 12", len(res))
 	}
@@ -72,7 +75,7 @@ func TestTableIIShape(t *testing.T) {
 }
 
 func TestTableIIIShape(t *testing.T) {
-	res, _ := TableIII(small())
+	res, _, _ := TableIII(RunCtx{}, small())
 	// 4 models x 2 kinds x 2 variants non-MT + 3 models x 2 kinds MT.
 	if len(res) != 22 {
 		t.Fatalf("got %d rows, want 22", len(res))
@@ -93,7 +96,7 @@ func TestTableIIIShape(t *testing.T) {
 }
 
 func TestTableIVShape(t *testing.T) {
-	res, _ := TableIV(small())
+	res, _, _ := TableIV(RunCtx{}, small())
 	if len(res) != 2 {
 		t.Fatalf("rows = %d", len(res))
 	}
@@ -103,7 +106,7 @@ func TestTableIVShape(t *testing.T) {
 }
 
 func TestTableVIIShape(t *testing.T) {
-	res, _ := TableVII(small())
+	res, _, _ := TableVII(RunCtx{}, small())
 	rates := map[string]float64{}
 	for _, r := range res {
 		rates[r.Channel.String()] = r.L1MissRate
@@ -118,7 +121,7 @@ func TestFigure8RateRisesWithD(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	pts, _ := Figure8(Opts{Bits: 60, Seed: 1})
+	pts, _, _ := Figure8(RunCtx{}, Opts{Bits: 60, Seed: 1})
 	// For each model, rate at d=8 should exceed rate at d=1.
 	byModel := map[string]map[int]Figure8Point{}
 	for _, p := range pts {
@@ -135,7 +138,7 @@ func TestFigure8RateRisesWithD(t *testing.T) {
 }
 
 func TestFigure9Ordering(t *testing.T) {
-	d, _ := Figure9(small())
+	d, _, _ := Figure9(RunCtx{}, small())
 	if !(stats.Mean(d.LSD) < stats.Mean(d.DSB) && stats.Mean(d.DSB) < stats.Mean(d.MITE)) {
 		t.Errorf("power ordering violated: LSD=%.1f DSB=%.1f MITE=%.1f",
 			stats.Mean(d.LSD), stats.Mean(d.DSB), stats.Mean(d.MITE))
@@ -143,7 +146,7 @@ func TestFigure9Ordering(t *testing.T) {
 }
 
 func TestFigure10Detects(t *testing.T) {
-	obs, s := Figure10(small())
+	obs, s, _ := Figure10(RunCtx{}, small())
 	if obs[0].Ratio() <= obs[1].Ratio() {
 		t.Error("patch1 timing ratio should exceed patch2's")
 	}
@@ -158,7 +161,7 @@ func TestFigure11Traces(t *testing.T) {
 	if testing.Short() {
 		o.Samples, want = 40, 40
 	}
-	traces, _ := Figure11(o)
+	traces, _, _ := Figure11(RunCtx{}, o)
 	if len(traces) != 4 {
 		t.Fatalf("want 4 CNN traces")
 	}

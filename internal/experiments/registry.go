@@ -7,17 +7,38 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/runctx"
 )
+
+// RunCtx threads cancellation and progress reporting through an
+// artifact run; see internal/runctx. The zero value is a valid
+// never-cancelled context, so callers without cancellation needs pass
+// RunCtx{}.
+type RunCtx = runctx.Ctx
+
+// Progress is one progress tick emitted from inside a running artifact.
+type Progress = runctx.Event
+
+// ProgressSink receives progress ticks; it may be called concurrently
+// from every artifact goroutine of a run.
+type ProgressSink = runctx.Sink
+
+// NewRunCtx builds a RunCtx from a cancellation context and a progress
+// sink; either may be nil.
+var NewRunCtx = runctx.New
 
 // Artifact describes one reproducible unit of the paper's evaluation: a
 // table or figure with a stable selector name, the paper reference it
 // regenerates, and a run function returning both structured data and the
-// rendered table text.
+// rendered table text. Run functions checkpoint cooperatively on the
+// RunCtx inside their expensive loops: a cancelled run returns the
+// context's error promptly (discarding partial work), and an
+// uncancelled run is byte-identical whatever context it is given.
 type Artifact struct {
 	Name string // canonical selector, e.g. "tableIII"
 	Ref  string // paper reference, e.g. "Table III"
 	Desc string // one-line description
-	Run  func(Opts) (any, string)
+	Run  func(RunCtx, Opts) (any, string, error)
 }
 
 // Registry is an ordered, name-indexed catalog of artifacts. Lookups are
@@ -116,8 +137,8 @@ func (r *Registry) Select(patterns ...string) ([]Artifact, error) {
 // wrap adapts a typed experiment function to the registry's uniform run
 // signature, keeping each catalog entry a one-liner where a name/function
 // mismatch is visually obvious.
-func wrap[T any](f func(Opts) (T, string)) func(Opts) (any, string) {
-	return func(o Opts) (any, string) { d, s := f(o); return d, s }
+func wrap[T any](f func(RunCtx, Opts) (T, string, error)) func(RunCtx, Opts) (any, string, error) {
+	return func(rc RunCtx, o Opts) (any, string, error) { d, s, err := f(rc, o); return d, s, err }
 }
 
 // Default returns the paper's artifact catalog: every table and figure
@@ -125,7 +146,7 @@ func wrap[T any](f func(Opts) (T, string)) func(Opts) (any, string) {
 var Default = sync.OnceValue(func() *Registry {
 	return NewRegistry(
 		Artifact{Name: "tableI", Ref: "Table I", Desc: "tested CPU models",
-			Run: func(o Opts) (any, string) { return cpu.Models(), TableI() }},
+			Run: func(RunCtx, Opts) (any, string, error) { return cpu.Models(), TableI(), nil }},
 		Artifact{Name: "figure2", Ref: "Figure 2", Desc: "frontend path timing histogram", Run: wrap(Figure2)},
 		Artifact{Name: "figure4", Ref: "Figure 4", Desc: "LCP mixed vs ordered issue", Run: wrap(Figure4)},
 		Artifact{Name: "tableII", Ref: "Table II", Desc: "MT eviction channel by message pattern", Run: wrap(TableII)},
@@ -139,9 +160,12 @@ var Default = sync.OnceValue(func() *Registry {
 		Artifact{Name: "figure10", Ref: "Figure 10", Desc: "microcode patch fingerprinting", Run: wrap(Figure10)},
 		Artifact{Name: "figure11", Ref: "Figure 11", Desc: "CNN fingerprinting IPC traces", Run: wrap(Figure11)},
 		Artifact{Name: "figure12", Ref: "Figure 12", Desc: "fingerprinting distances",
-			Run: func(o Opts) (any, string) {
-				cnn, gb, s := Figure12(o)
-				return Figure12Data{CNN: cnn, Geekbench: gb}, s
+			Run: func(rc RunCtx, o Opts) (any, string, error) {
+				cnn, gb, s, err := Figure12(rc, o)
+				if err != nil {
+					return nil, "", err
+				}
+				return Figure12Data{CNN: cnn, Geekbench: gb}, s, nil
 			}},
 	)
 })

@@ -112,9 +112,9 @@ func TestRunEmitStreamsInOrder(t *testing.T) {
 		d := time.Duration(n-i) * time.Millisecond // later artifacts finish first
 		arts[i] = Artifact{
 			Name: fmt.Sprintf("fake%d", i), Ref: "-", Desc: "-",
-			Run: func(o Opts) (any, string) {
+			Run: func(rc RunCtx, o Opts) (any, string, error) {
 				time.Sleep(d)
-				return nil, "x"
+				return nil, "x", nil
 			},
 		}
 	}
@@ -194,7 +194,7 @@ func TestWorkerPoolBounded(t *testing.T) {
 		for i := range arts {
 			arts[i] = Artifact{
 				Name: fmt.Sprintf("fake%d", i), Ref: "-", Desc: "-",
-				Run: func(o Opts) (any, string) {
+				Run: func(rc RunCtx, o Opts) (any, string, error) {
 					cur := inflight.Add(1)
 					mu.Lock()
 					if cur > peak.Load() {
@@ -203,7 +203,7 @@ func TestWorkerPoolBounded(t *testing.T) {
 					mu.Unlock()
 					time.Sleep(2 * time.Millisecond)
 					inflight.Add(-1)
-					return nil, "fake"
+					return nil, "fake", nil
 				},
 			}
 		}
@@ -220,9 +220,9 @@ func TestWorkerPoolBounded(t *testing.T) {
 func TestRunRecordsTiming(t *testing.T) {
 	arts := []Artifact{{
 		Name: "sleepy", Ref: "-", Desc: "-",
-		Run: func(o Opts) (any, string) {
+		Run: func(rc RunCtx, o Opts) (any, string, error) {
 			time.Sleep(5 * time.Millisecond)
-			return nil, "z"
+			return nil, "z", nil
 		},
 	}}
 	res := Runner{Opts: Opts{Seed: 1}}.Run(arts)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/rng"
+	"repro/internal/runctx"
 	"repro/internal/stats"
 	"repro/internal/victim"
 )
@@ -47,6 +48,15 @@ func attackerLoop() []*isa.Block {
 // Trace runs the attacker alongside the victim workload and returns the
 // attacker's IPC samples.
 func Trace(cfg Config, w victim.Workload) []float64 {
+	tr, _ := TraceCtx(runctx.Background(), cfg, w)
+	return tr
+}
+
+// TraceCtx is Trace with cooperative cancellation and progress: it
+// checkpoints once per IPC sample and returns the context's error (and
+// a nil trace) if the run is cancelled mid-trace. An uncancelled
+// TraceCtx is byte-identical to Trace.
+func TraceCtx(rc runctx.Ctx, cfg Config, w victim.Workload) ([]float64, error) {
 	if !cfg.Model.HyperThreading {
 		panic("fingerprint: side channel needs a co-resident SMT victim")
 	}
@@ -62,6 +72,9 @@ func Trace(cfg Config, w victim.Workload) []float64 {
 	phase := 0
 	left := 0 // samples left in the current phase
 	for len(trace) < cfg.Samples {
+		if err := rc.Step("trace "+w.Name, len(trace), cfg.Samples); err != nil {
+			return nil, err
+		}
 		if left <= 0 {
 			ph := w.Phases[phase%len(w.Phases)]
 			left = ph.Samples
@@ -83,7 +96,7 @@ func Trace(cfg Config, w victim.Workload) []float64 {
 		trace = append(trace, ipc)
 		left--
 	}
-	return trace
+	return trace, nil
 }
 
 // BaselineIPC returns the attacker's solo IPC (no victim), the 3.58
@@ -109,6 +122,13 @@ type Distances struct {
 // Study traces every workload twice (different seeds) and computes the
 // intra/inter distance statistics of Figure 12 and Section XI-B.
 func Study(cfg Config, suite []victim.Workload) Distances {
+	d, _ := StudyCtx(runctx.Background(), cfg, suite)
+	return d
+}
+
+// StudyCtx is Study with cooperative cancellation and progress; each
+// per-workload trace checkpoints per sample via TraceCtx.
+func StudyCtx(rc runctx.Ctx, cfg Config, suite []victim.Workload) (Distances, error) {
 	names := make([]string, len(suite))
 	run1 := make([][]float64, len(suite))
 	run2 := make([][]float64, len(suite))
@@ -117,8 +137,13 @@ func Study(cfg Config, suite []victim.Workload) Distances {
 		c1, c2 := cfg, cfg
 		c1.Seed = cfg.Seed*1000 + uint64(i)
 		c2.Seed = cfg.Seed*1000 + uint64(i) + 500
-		run1[i] = Trace(c1, suite[i])
-		run2[i] = Trace(c2, suite[i])
+		var err error
+		if run1[i], err = TraceCtx(rc, c1, suite[i]); err != nil {
+			return Distances{}, err
+		}
+		if run2[i], err = TraceCtx(rc, c2, suite[i]); err != nil {
+			return Distances{}, err
+		}
 	}
 	var intra, inter float64
 	var nIntra, nInter int
@@ -137,7 +162,7 @@ func Study(cfg Config, suite []victim.Workload) Distances {
 		Matrix: stats.NewDistanceMatrix(names, run1),
 		Intra:  intra / float64(nIntra),
 		Inter:  inter / float64(nInter),
-	}
+	}, nil
 }
 
 // Classify matches an observed trace against reference traces and

@@ -1,0 +1,97 @@
+// Package runctx threads cancellation and progress reporting through
+// the simulation stack. A Ctx pairs a context.Context with a progress
+// sink; the expensive inner loops — covert-channel bit loops,
+// fingerprint trace sampling, Spectre chunk leaks, experiment sweeps —
+// call Step once per unit of work, which emits a progress tick and
+// reports whether the run has been cancelled. Checkpoints never touch
+// the simulation's RNG or timing state, so a run that is not cancelled
+// is byte-identical with or without a context attached; cancellation
+// only ever discards work, it cannot change completed results.
+//
+// The zero Ctx is valid: it is never cancelled and discards progress,
+// so context-free callers (tests, the public convenience API) pass
+// Background() and pay two nil checks per checkpoint.
+package runctx
+
+import "context"
+
+// Event is one progress tick from inside a running artifact.
+type Event struct {
+	// Artifact is the registry name of the artifact reporting progress
+	// (set by the experiment runner; empty for bare simulation calls).
+	Artifact string `json:"artifact,omitempty"`
+	// Stage names the inner loop, e.g. "MT Eviction-Based @ Gold 6226".
+	Stage string `json:"stage,omitempty"`
+	// Done counts completed units of the stage; Total is the stage's
+	// size, or <= 0 when unknown in advance.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Sink receives progress events. A sink may be called concurrently from
+// multiple artifact goroutines and must be safe for concurrent use; it
+// should return quickly (throttle expensive handling inside the sink).
+type Sink func(Event)
+
+// Ctx carries a cancellation context and a progress sink down the
+// simulation stack. Values are immutable and copied by value; deriving
+// (WithArtifact) never mutates the parent.
+type Ctx struct {
+	ctx      context.Context
+	sink     Sink
+	artifact string
+}
+
+// New builds a Ctx from a context and a progress sink. Either may be
+// nil: a nil ctx never cancels, a nil sink discards progress.
+func New(ctx context.Context, sink Sink) Ctx {
+	return Ctx{ctx: ctx, sink: sink}
+}
+
+// Background returns the never-cancelled, progress-discarding Ctx
+// (equivalent to the zero value).
+func Background() Ctx { return Ctx{} }
+
+// Context returns the underlying context, never nil.
+func (c Ctx) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// WithArtifact returns a copy whose progress events carry the artifact
+// name.
+func (c Ctx) WithArtifact(name string) Ctx {
+	c.artifact = name
+	return c
+}
+
+// Artifact returns the artifact name progress events are attributed to.
+func (c Ctx) Artifact() string { return c.artifact }
+
+// Err reports the cancellation state: nil while the run may continue,
+// context.Canceled or context.DeadlineExceeded once it must stop.
+func (c Ctx) Err() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// Tick emits a progress event without checking for cancellation.
+func (c Ctx) Tick(stage string, done, total int) {
+	if c.sink != nil {
+		c.sink(Event{Artifact: c.artifact, Stage: stage, Done: done, Total: total})
+	}
+}
+
+// Step is the cooperative checkpoint inner loops call once per unit of
+// work: it emits a progress tick and returns the cancellation state.
+// A non-nil return means the caller must unwind immediately, discarding
+// partial work; by construction every completed unit before the
+// checkpoint is identical to an uncancelled run's.
+func (c Ctx) Step(stage string, done, total int) error {
+	c.Tick(stage, done, total)
+	return c.Err()
+}

@@ -1,0 +1,59 @@
+package runctx
+
+import (
+	"context"
+	"testing"
+)
+
+func TestZeroValueIsBackground(t *testing.T) {
+	var c Ctx
+	if c.Err() != nil {
+		t.Error("zero Ctx reports cancelled")
+	}
+	if c.Context() == nil {
+		t.Error("zero Ctx returns nil context")
+	}
+	// Step on the zero value must be a no-op that allows progress.
+	for i := 0; i < 3; i++ {
+		if err := c.Step("stage", i, 3); err != nil {
+			t.Fatalf("zero Ctx Step = %v", err)
+		}
+	}
+}
+
+func TestStepReportsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var events []Event
+	c := New(ctx, func(ev Event) { events = append(events, ev) }).WithArtifact("tableX")
+
+	if err := c.Step("warmup", 0, 2); err != nil {
+		t.Fatalf("pre-cancel Step = %v", err)
+	}
+	cancel()
+	if err := c.Step("warmup", 1, 2); err != context.Canceled {
+		t.Fatalf("post-cancel Step = %v, want context.Canceled", err)
+	}
+	// Both steps ticked (cancellation is checked after emitting).
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for i, ev := range events {
+		if ev.Artifact != "tableX" || ev.Stage != "warmup" || ev.Done != i || ev.Total != 2 {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestWithArtifactDoesNotMutateParent(t *testing.T) {
+	var last Event
+	base := New(context.Background(), func(ev Event) { last = ev })
+	derived := base.WithArtifact("figure9")
+	base.Tick("s", 1, 1)
+	if last.Artifact != "" {
+		t.Errorf("parent picked up artifact %q", last.Artifact)
+	}
+	derived.Tick("s", 1, 1)
+	if last.Artifact != "figure9" || derived.Artifact() != "figure9" {
+		t.Errorf("derived artifact = %q", last.Artifact)
+	}
+}

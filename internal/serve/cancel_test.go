@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// spinningArtifact runs forever, checkpointing every 100us: the only
+// way it ever stops is cooperative cancellation, which makes it the
+// probe for "the slot was freed before the artifact would have
+// finished" (it would never have finished).
+func spinningArtifact(name string, started chan<- struct{}) experiments.Artifact {
+	var once sync.Once
+	return experiments.Artifact{
+		Name: name, Ref: "-", Desc: "spins until cancelled",
+		Run: func(rc experiments.RunCtx, o experiments.Opts) (any, string, error) {
+			once.Do(func() {
+				if started != nil {
+					close(started)
+				}
+			})
+			for i := 0; ; i++ {
+				if err := rc.Step("spin", i, -1); err != nil {
+					return nil, "", err
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		},
+	}
+}
+
+// tryGet is get without test fatals, for goroutines off the test's.
+func tryGet(ts *httptest.Server, path string) (int, []byte) {
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelAbandonedFreesWorkerSlot is the acceptance test for
+// abandoned-run cancellation: with CancelAbandoned, a client
+// disconnecting from an uncached run cancels the simulation at its next
+// checkpoint, the worker slot frees up for other requests, and the
+// cancellation is counted.
+func TestCancelAbandonedFreesWorkerSlot(t *testing.T) {
+	started := make(chan struct{})
+	var fastRuns atomic.Int64
+	reg := experiments.NewRegistry(
+		spinningArtifact("spinner", started),
+		experiments.Artifact{Name: "fast", Ref: "-", Desc: "-",
+			Run: func(rc experiments.RunCtx, o experiments.Opts) (any, string, error) {
+				fastRuns.Add(1)
+				return nil, "fast\n", nil
+			}},
+	)
+	s := NewServer(Config{Registry: reg, Workers: 1, CancelAbandoned: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/artifacts/spinner", nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ts.Client().Do(req)
+		errc <- err
+	}()
+	<-started
+	cancel() // client disconnects: the spinner was the only waiter
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request reported no error")
+	}
+	waitFor(t, "worker slot release", func() bool { return s.Metrics().InFlight.Load() == 0 })
+	if got := s.Metrics().Cancellations.Load(); got == 0 {
+		t.Error("cancellation not counted")
+	}
+	// The freed slot (Workers=1) serves the next request.
+	code, body := get(t, ts, "/v1/artifacts/fast")
+	if code != 200 || fastRuns.Load() != 1 {
+		t.Fatalf("post-cancel request: code %d body %q runs %d", code, body, fastRuns.Load())
+	}
+	// Nothing was cached for the cancelled spinner.
+	if _, hit := s.cache.Get(s.opts.CacheKey("spinner")); hit {
+		t.Error("cancelled run landed in the cache")
+	}
+}
+
+// TestCancelAbandonedKeepsSharedFlight: a flight with a second waiter
+// survives the first waiter's disconnect — only the *last* waiter
+// leaving cancels it.
+func TestCancelAbandonedKeepsSharedFlight(t *testing.T) {
+	g := newFlightGroup(context.Background(), true)
+	release := make(chan struct{})
+	var cancelled atomic.Bool
+	fn := func(fctx context.Context) (experiments.Result, error) {
+		select {
+		case <-release:
+			return experiments.Result{Name: "landed"}, nil
+		case <-fctx.Done():
+			cancelled.Store(true)
+			return experiments.Result{}, fctx.Err()
+		}
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	done1 := make(chan error, 1)
+	done2 := make(chan experiments.Result, 1)
+	go func() {
+		_, _, err := g.Do(ctx1, "k", fn)
+		done1 <- err
+	}()
+	waitFor(t, "flight creation", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.flights) == 1
+	})
+	go func() {
+		res, _, _ := g.Do(ctx2, "k", nil) // joins; fn unused
+		done2 <- res
+	}()
+	waitFor(t, "second waiter", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.flights["k"] != nil && g.flights["k"].waiters == 2
+	})
+	cancel1()
+	if err := <-done1; err != context.Canceled {
+		t.Fatalf("first waiter got %v", err)
+	}
+	// The flight must still be flying for waiter 2.
+	if cancelled.Load() {
+		t.Fatal("flight cancelled while a waiter remained")
+	}
+	close(release)
+	if res := <-done2; res.Name != "landed" {
+		t.Fatalf("surviving waiter got %q, want landed", res.Name)
+	}
+
+	// Now a fresh flight with a single waiter: leaving cancels it.
+	var cancelled2 atomic.Bool
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	done3 := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx3, "k2", func(fctx context.Context) (experiments.Result, error) {
+			<-fctx.Done()
+			cancelled2.Store(true)
+			return experiments.Result{}, fctx.Err()
+		})
+		done3 <- err
+	}()
+	waitFor(t, "third flight", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.flights) == 1
+	})
+	cancel3()
+	<-done3
+	waitFor(t, "flight cancellation", cancelled2.Load)
+}
+
+// TestJoinAfterAbandonLeadsFreshFlight: a caller arriving after the
+// last waiter abandoned (and thereby cancelled) a still-unwinding
+// flight must not inherit the spurious cancellation — it waits the
+// corpse out and leads a fresh flight of its own.
+func TestJoinAfterAbandonLeadsFreshFlight(t *testing.T) {
+	g := newFlightGroup(context.Background(), true)
+	unwind := make(chan struct{})
+	fn := func(fctx context.Context) (experiments.Result, error) {
+		<-fctx.Done()
+		<-unwind // hold the cancelled flight in the map
+		return experiments.Result{}, fctx.Err()
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx1, "k", fn)
+		done1 <- err
+	}()
+	waitFor(t, "flight creation", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.flights) == 1
+	})
+	cancel1()
+	<-done1 // sole waiter left; flight now abandoned but still in the map
+	g.mu.Lock()
+	abandoned := g.flights["k"] != nil && g.flights["k"].abandoned
+	g.mu.Unlock()
+	if !abandoned {
+		t.Fatal("flight not marked abandoned while unwinding")
+	}
+
+	// A live caller for the same key must get a fresh, uncancelled run.
+	done2 := make(chan experiments.Result, 1)
+	go func() {
+		res, _, err := g.Do(context.Background(), "k", func(context.Context) (experiments.Result, error) {
+			return experiments.Result{Name: "fresh"}, nil
+		})
+		if err != nil {
+			t.Errorf("post-abandon caller got %v", err)
+		}
+		done2 <- res
+	}()
+	time.Sleep(10 * time.Millisecond) // let it reach the corpse-wait
+	close(unwind)
+	if res := <-done2; res.Name != "fresh" {
+		t.Fatalf("post-abandon caller got %q, want a fresh flight", res.Name)
+	}
+}
+
+// TestCloseCancelsInFlightRuns: server shutdown cancels simulations
+// regardless of the abandonment policy, and the still-connected client
+// is told rather than silently dropped.
+func TestCloseCancelsInFlightRuns(t *testing.T) {
+	started := make(chan struct{})
+	reg := experiments.NewRegistry(spinningArtifact("spinner", started))
+	s := NewServer(Config{Registry: reg, Workers: 1}) // default: no CancelAbandoned
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	codec := make(chan int, 1)
+	go func() {
+		code, _ := tryGet(ts, "/v1/artifacts/spinner")
+		codec <- code
+	}()
+	<-started
+	s.Close()
+	select {
+	case code := <-codec:
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("shutdown-cancelled request got %d, want 503", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request did not return after Close")
+	}
+	waitFor(t, "worker slot release", func() bool { return s.Metrics().InFlight.Load() == 0 })
+}
+
+// TestRunStreamProgress: ?progress=1 interleaves progress lines with
+// result lines; the result lines are unchanged and in catalog order.
+func TestRunStreamProgress(t *testing.T) {
+	ticky := experiments.Artifact{
+		Name: "ticky", Ref: "-", Desc: "-",
+		Run: func(rc experiments.RunCtx, o experiments.Opts) (any, string, error) {
+			for i := 0; i < 3; i++ {
+				if err := rc.Step("ticking", i, 3); err != nil {
+					return nil, "", err
+				}
+			}
+			return nil, "ticky done\n", nil
+		},
+	}
+	s := NewServer(Config{Registry: experiments.NewRegistry(ticky)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/run?sel=all&progress=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var progressLines, resultLines int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, `"progress"`) {
+			progressLines++
+			if !strings.Contains(line, `"artifact":"ticky"`) || !strings.Contains(line, `"stage":"ticking"`) {
+				t.Errorf("progress line missing attribution: %s", line)
+			}
+		} else {
+			resultLines++
+			if !strings.Contains(line, "ticky done") {
+				t.Errorf("unexpected result line: %s", line)
+			}
+		}
+	}
+	if progressLines == 0 {
+		t.Error("no progress lines on a ?progress=1 stream")
+	}
+	if resultLines != 1 {
+		t.Errorf("got %d result lines, want 1", resultLines)
+	}
+
+	// Without ?progress the same stream carries no progress envelope,
+	// so the protocol is byte-stable for existing clients (the run is
+	// cached now, but cached streams must stay clean too).
+	_, body := get(t, ts, "/v1/run?sel=all")
+	if strings.Contains(string(body), "progress") {
+		t.Errorf("progress leaked into a plain stream:\n%s", body)
+	}
+	if code, _ := get(t, ts, "/v1/run?sel=all&progress=2"); code != http.StatusBadRequest {
+		t.Error("bad progress value accepted")
+	}
+}
+
+// TestHealthzDegradedOnFullQueue: /healthz flips to 503 once the job
+// queue has been full longer than one poll interval, and recovers when
+// the queue drains.
+func TestHealthzDegradedOnFullQueue(t *testing.T) {
+	release := make(chan struct{})
+	blocked := experiments.Artifact{
+		Name: "blocked", Ref: "-", Desc: "-",
+		Run: func(rc experiments.RunCtx, o experiments.Opts) (any, string, error) {
+			<-release
+			return nil, "done\n", nil
+		},
+	}
+	s := NewServer(Config{
+		Registry:   experiments.NewRegistry(blocked),
+		Workers:    1,
+		QueueDepth: 1,
+		HealthPoll: 20 * time.Millisecond,
+		Timeout:    10 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts, "/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Fatalf("idle healthz: %d %q", code, body)
+	}
+	go tryGet(ts, "/v1/artifacts/blocked") // fills the 1-deep queue
+	waitFor(t, "queue to fill", func() bool { return s.Metrics().Queued.Load() == 1 })
+	waitFor(t, "degradation after one poll interval", func() bool {
+		code, _ := get(t, ts, "/healthz")
+		return code == http.StatusServiceUnavailable
+	})
+	if _, body := get(t, ts, "/healthz"); !strings.Contains(string(body), "degraded") {
+		t.Errorf("degraded healthz body %q", body)
+	}
+	close(release)
+	waitFor(t, "queue to drain", func() bool { return s.Metrics().Queued.Load() == 0 })
+	if code, body := get(t, ts, "/healthz"); code != 200 {
+		t.Errorf("post-drain healthz: %d %q", code, body)
+	}
+	// The new counters are exported.
+	_, metrics := get(t, ts, "/metrics")
+	for _, want := range []string{"leakyfed_cancellations_total", "leakyfed_queue_capacity 1", "leakyfed_queue_depth"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestAbandonedStreamStillWarmsCacheByDefault: without CancelAbandoned
+// a disconnected /v1/run stream keeps simulating and fills the cache —
+// the historical contract that timed-out requests rely on.
+func TestAbandonedStreamStillWarmsCacheByDefault(t *testing.T) {
+	started := make(chan struct{})
+	var once sync.Once
+	var runs atomic.Int64
+	slow := experiments.Artifact{
+		Name: "slowish", Ref: "-", Desc: "-",
+		Run: func(rc experiments.RunCtx, o experiments.Opts) (any, string, error) {
+			once.Do(func() { close(started) })
+			runs.Add(1)
+			time.Sleep(50 * time.Millisecond)
+			return nil, "slowish done\n", nil
+		},
+	}
+	s := NewServer(Config{Registry: experiments.NewRegistry(slow), Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/run?sel=all", nil)
+	go ts.Client().Do(req)
+	<-started
+	cancel() // client gone; the run must finish anyway
+	waitFor(t, "cache warmed by abandoned run", func() bool { return s.cache.Len() == 1 })
+	if runs.Load() != 1 {
+		t.Errorf("abandoned run executed %d times, want 1", runs.Load())
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runctx"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -21,8 +23,12 @@ import (
 //	                                  the server's base options
 //	GET /v1/run?sel=table*            NDJSON result stream in catalog
 //	                                  order; sel repeats or comma-lists
-//	                                  patterns, default "all"
-//	GET /healthz                      liveness probe
+//	                                  patterns, default "all";
+//	                                  ?progress=1 interleaves progress
+//	                                  events between result lines
+//	GET /healthz                      liveness probe (503 once the job
+//	                                  queue has been full for more than
+//	                                  one poll interval)
 //	GET /metrics                      Prometheus text counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -71,6 +77,12 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.Artifact(ctx, r.PathValue("name"), o)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && r.Context().Err() == nil {
+			// The run was cancelled server-side (shutdown), not by this
+			// client going away: tell the still-connected caller.
+			s.fail(w, http.StatusServiceUnavailable, errors.New("run cancelled (server shutting down)"))
+			return
+		}
 		s.failErr(w, err)
 		return
 	}
@@ -82,22 +94,103 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, res)
 }
 
+// progressLine is the NDJSON envelope for one progress event; result
+// lines are bare experiments.Result objects (no envelope), so a stream
+// without ?progress=1 is byte-identical to the progress-free protocol.
+type progressLine struct {
+	Progress runctx.Event `json:"progress"`
+}
+
+// progressMinInterval throttles progress lines on a stream: inner loops
+// tick per bit/sample, which is far finer than any client needs.
+const progressMinInterval = 100 * time.Millisecond
+
+// streamWriter serializes NDJSON result and progress lines onto one
+// response. Progress ticks arrive from simulation goroutines that can
+// outlive the request (detached flights), so every write is gated on
+// closed, flipped under mu before the handler returns — after that,
+// ticks are dropped rather than touching a dead ResponseWriter.
+type streamWriter struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	flusher http.Flusher
+	closed  bool
+	last    time.Time // last progress line, for throttling
+}
+
+func (sw *streamWriter) writeResult(res experiments.Result) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.closed {
+		return
+	}
+	sw.enc.Encode(res)
+}
+
+func (sw *streamWriter) writeProgress(ev runctx.Event) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.closed || time.Since(sw.last) < progressMinInterval {
+		return
+	}
+	sw.last = time.Now()
+	sw.enc.Encode(progressLine{Progress: ev})
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}
+
+func (sw *streamWriter) flush() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.closed {
+		return
+	}
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}
+
+func (sw *streamWriter) close() {
+	sw.mu.Lock()
+	sw.closed = true
+	sw.mu.Unlock()
+}
+
 // handleRun streams the selected artifacts as NDJSON in catalog order.
 // Cached artifacts are served from the cache; the rest execute on the
-// shared simulation slots via RunEmit, each routed through the flight
+// shared simulation slots via RunEmitCtx, each routed through the flight
 // group so a stream never duplicates a simulation another stream or a
 // single-artifact request already has in flight. Each line is flushed
-// as soon as its catalog-order prefix is complete. A stream needing any
-// simulation counts as one job against the queue, so overload pushes
-// back with 429 while an idle server always accepts sel=all.
+// as soon as its catalog-order prefix is complete; with ?progress=1,
+// throttled progress events are interleaved between result lines as the
+// simulations tick. A stream needing any simulation counts as one job
+// against the queue, so overload pushes back with 429 while an idle
+// server always accepts sel=all.
+//
+// Client disconnects follow the server's abandonment policy: by default
+// the remaining simulations run to completion and warm the cache; with
+// CancelAbandoned the stream's unshared flights are cancelled and its
+// unstarted artifacts skipped, freeing the worker slots within one
+// checkpoint. Server shutdown always cancels.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	o, err := s.requestOpts(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	q := r.URL.Query()
+	progress := false
+	switch v := q.Get("progress"); v {
+	case "", "0", "false":
+	case "1", "true":
+		progress = true
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad progress %q: want 0|1", v))
+		return
+	}
 	var patterns []string
-	for _, sel := range r.URL.Query()["sel"] {
+	for _, sel := range q["sel"] {
 		patterns = append(patterns, strings.Split(sel, ",")...)
 	}
 	if len(patterns) == 0 {
@@ -131,21 +224,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusTooManyRequests, fmt.Errorf("%d artifacts need simulation, queue full", len(missing)))
 			return
 		}
-		defer s.metrics.Queued.Add(-1)
+		defer s.release(1)
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	sw := &streamWriter{enc: json.NewEncoder(w), flusher: flusher}
+	defer sw.close()
 	next := 0 // next catalog-order index to emit
 	emitReady := func(limit int) {
 		for next <= limit {
-			enc.Encode(results[next])
+			sw.writeResult(results[next])
 			next++
 		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		sw.flush()
 	}
 	// The cached prefix is available now — stream it before the first
 	// simulation rather than after it.
@@ -157,38 +249,59 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		emitReady(firstMissing - 1)
 	}
 
+	// The stream's run context decides what a disconnect means. With
+	// CancelAbandoned it is the request context: a disconnect skips
+	// unstarted artifacts and abandons (thereby cancelling, if unshared)
+	// the in-flight ones. Otherwise it is the server lifecycle: the
+	// stream keeps simulating into the cache exactly as before, and only
+	// Close stops it.
+	runCtx := s.lifecycle
+	if s.cancelAbandoned {
+		runCtx = r.Context()
+	}
+	var sink runctx.Sink
+	if progress {
+		sink = sw.writeProgress
+	}
+
 	// Each missing artifact resolves through the flight group (which
 	// runs it on a shared simulation slot, or joins a run already in
-	// flight elsewhere); RunEmit calls back in input order (== catalog
-	// order), so the k-th emission is missing[k]. The wait context is
-	// detached: a stream runs to completion and warms the cache even if
-	// the client goes away.
+	// flight elsewhere); RunEmitCtx calls back in input order (== catalog
+	// order), so the k-th emission is missing[k].
 	wrapped := make([]experiments.Artifact, len(missing))
 	for i, a := range missing {
 		orig, key := a, keys[missingIdx[i]]
-		a.Run = func(experiments.Opts) (any, string) {
-			// With admitJob=false and a detached context, compute can
-			// only fail by joining a flight whose leader (a single-
-			// artifact request) lost the admission race; that flight is
-			// short-lived, so retry until this caller leads one itself.
+		a.Run = func(rc experiments.RunCtx, _ experiments.Opts) (any, string, error) {
+			// With admitJob=false, compute can only return ErrBusy by
+			// joining a flight whose leader (a single-artifact request)
+			// lost the admission race; that flight is short-lived, so
+			// retry until this caller leads one itself.
 			for {
-				res, err := s.compute(context.Background(), key, orig, o, false)
+				res, err := s.compute(rc.Context(), key, orig, o, false, sink)
 				if err == nil {
-					return res.Data, res.Rendered
+					return res.Data, res.Rendered, nil
 				}
-				time.Sleep(time.Millisecond)
+				if !errors.Is(err, ErrBusy) {
+					return nil, "", err
+				}
+				select {
+				case <-rc.Context().Done():
+					return nil, "", rc.Context().Err()
+				case <-time.After(time.Millisecond):
+				}
 			}
 		}
 		wrapped[i] = a
 	}
 	emitted := 0
-	experiments.Runner{Opts: o, Workers: s.workers}.RunEmit(wrapped, func(res experiments.Result) {
-		res.Elapsed = 0 // determinism: the stream depends only on (sel, Opts)
-		idx := missingIdx[emitted]
-		emitted++
-		results[idx] = res
-		emitReady(idx)
-	})
+	experiments.Runner{Opts: o, Workers: s.workers}.RunEmitCtx(
+		runctx.New(runCtx, nil), wrapped, func(res experiments.Result) {
+			res.Elapsed = 0 // determinism: the stream depends only on (sel, Opts)
+			idx := missingIdx[emitted]
+			emitted++
+			results[idx] = res
+			emitReady(idx)
+		})
 	if next < len(arts) {
 		emitReady(len(arts) - 1)
 	}
@@ -196,12 +309,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if since := s.queueFull.Load(); since != 0 {
+		if d := time.Since(time.Unix(0, since)); d > s.healthPoll {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded: job queue full for %s\n", d.Round(time.Millisecond))
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(s.cache.Len()))
+	fmt.Fprint(w, s.metrics.Render(s.cache.Len(), int(s.depth)))
 }
 
 // requestOpts merges the server's base options with the request's
@@ -235,13 +355,12 @@ func (s *Server) requestOpts(r *http.Request) (experiments.Opts, error) {
 	return o, nil
 }
 
-// Scale caps for request parameters. Simulations are detached and
-// uncancellable once admitted (so an abandoned run can still warm the
-// cache, and because Artifact.Run takes no context); the caps bound the
-// damage an abandoned max-scale request can do to ~10x the paper's
-// scales — a full sel=all stream at the cap finishes in minutes, and
-// the queue depth bounds how many such streams run at once. Cooperative
-// cancellation of in-flight simulations is a ROADMAP item.
+// Scale caps for request parameters. With the default abandonment
+// policy a simulation runs to completion once admitted (warming the
+// cache for the next caller), so the caps bound the damage an abandoned
+// max-scale request can do to ~10x the paper's scales; -cancel-abandoned
+// tightens that further by freeing the slots the moment the last waiter
+// leaves.
 const (
 	maxBits    = 2_000
 	maxSamples = 1_000
@@ -266,7 +385,7 @@ func (s *Server) failErr(w http.ResponseWriter, err error) {
 		s.fail(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.fail(w, http.StatusGatewayTimeout,
-			errors.New("timed out waiting for result (it will be cached)"))
+			errors.New("timed out waiting for result (it may still be cached)"))
 	case errors.Is(err, context.Canceled):
 		// The client went away; nobody is listening and the server did
 		// nothing wrong, so this is neither an error nor a timeout.

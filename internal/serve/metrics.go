@@ -11,32 +11,37 @@ import (
 // atomics: handlers update them lock-free on the hot path and /metrics
 // renders a point-in-time snapshot in Prometheus text exposition format.
 type Metrics struct {
-	Requests     atomic.Uint64 // HTTP requests accepted (all endpoints)
-	CacheHits    atomic.Uint64 // artifact results served from the cache
-	CacheMisses  atomic.Uint64 // artifact results that required a run
-	Deduplicated atomic.Uint64 // requests collapsed onto an in-flight run
-	Rejected     atomic.Uint64 // requests refused with 429 (queue full)
-	Timeouts     atomic.Uint64 // requests that gave up waiting (504)
-	Errors       atomic.Uint64 // other 4xx/5xx responses
-	InFlight     atomic.Int64  // artifact runs executing right now
-	Queued       atomic.Int64  // jobs admitted and waiting or running
+	Requests      atomic.Uint64 // HTTP requests accepted (all endpoints)
+	CacheHits     atomic.Uint64 // artifact results served from the cache
+	CacheMisses   atomic.Uint64 // artifact results that required a run
+	Deduplicated  atomic.Uint64 // requests collapsed onto an in-flight run
+	Rejected      atomic.Uint64 // requests refused with 429 (queue full)
+	Timeouts      atomic.Uint64 // requests that gave up waiting (504)
+	Errors        atomic.Uint64 // other 4xx/5xx responses
+	Cancellations atomic.Uint64 // in-flight runs cancelled (abandoned or shutdown)
+	InFlight      atomic.Int64  // artifact runs executing right now
+	Queued        atomic.Int64  // jobs admitted and waiting or running
 }
 
 // Render writes the counters in Prometheus text format. cacheLen is the
 // current number of cached results (owned by the cache, not an atomic
-// here).
-func (m *Metrics) Render(cacheLen int) string {
+// here); queueCap is the configured job-queue bound, exported so
+// operators can alert on leakyfed_queue_depth / leakyfed_queue_capacity
+// saturation.
+func (m *Metrics) Render(cacheLen, queueCap int) string {
 	rows := map[string]int64{
-		"leakyfed_requests_total":     int64(m.Requests.Load()),
-		"leakyfed_cache_hits_total":   int64(m.CacheHits.Load()),
-		"leakyfed_cache_misses_total": int64(m.CacheMisses.Load()),
-		"leakyfed_deduplicated_total": int64(m.Deduplicated.Load()),
-		"leakyfed_rejected_total":     int64(m.Rejected.Load()),
-		"leakyfed_timeouts_total":     int64(m.Timeouts.Load()),
-		"leakyfed_errors_total":       int64(m.Errors.Load()),
-		"leakyfed_inflight_runs":      m.InFlight.Load(),
-		"leakyfed_queue_depth":        m.Queued.Load(),
-		"leakyfed_cached_results":     int64(cacheLen),
+		"leakyfed_requests_total":      int64(m.Requests.Load()),
+		"leakyfed_cache_hits_total":    int64(m.CacheHits.Load()),
+		"leakyfed_cache_misses_total":  int64(m.CacheMisses.Load()),
+		"leakyfed_deduplicated_total":  int64(m.Deduplicated.Load()),
+		"leakyfed_rejected_total":      int64(m.Rejected.Load()),
+		"leakyfed_timeouts_total":      int64(m.Timeouts.Load()),
+		"leakyfed_errors_total":        int64(m.Errors.Load()),
+		"leakyfed_cancellations_total": int64(m.Cancellations.Load()),
+		"leakyfed_inflight_runs":       m.InFlight.Load(),
+		"leakyfed_queue_depth":         m.Queued.Load(),
+		"leakyfed_queue_capacity":      int64(queueCap),
+		"leakyfed_cached_results":      int64(cacheLen),
 	}
 	names := make([]string, 0, len(rows))
 	for n := range rows {

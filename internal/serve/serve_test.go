@@ -25,10 +25,10 @@ func countingRegistry(runs *atomic.Int64, delay time.Duration, names ...string) 
 	for i, name := range names {
 		arts[i] = experiments.Artifact{
 			Name: name, Ref: "Fake " + name, Desc: "counting artifact",
-			Run: func(o experiments.Opts) (any, string) {
+			Run: func(rc experiments.RunCtx, o experiments.Opts) (any, string, error) {
 				runs.Add(1)
 				time.Sleep(delay)
-				return map[string]uint64{"seed": o.Seed}, fmt.Sprintf("%s seed=%d bits=%d\n", name, o.Seed, o.Bits)
+				return map[string]uint64{"seed": o.Seed}, fmt.Sprintf("%s seed=%d bits=%d\n", name, o.Seed, o.Bits), nil
 			},
 		}
 	}
@@ -168,13 +168,13 @@ func TestBackpressure429(t *testing.T) {
 	release := make(chan struct{})
 	var runs atomic.Int64
 	arts := []experiments.Artifact{
-		{Name: "slow", Ref: "-", Desc: "-", Run: func(o experiments.Opts) (any, string) {
+		{Name: "slow", Ref: "-", Desc: "-", Run: func(rc experiments.RunCtx, o experiments.Opts) (any, string, error) {
 			runs.Add(1)
 			<-release
-			return nil, "slow\n"
+			return nil, "slow\n", nil
 		}},
-		{Name: "other", Ref: "-", Desc: "-", Run: func(o experiments.Opts) (any, string) {
-			return nil, "other\n"
+		{Name: "other", Ref: "-", Desc: "-", Run: func(rc experiments.RunCtx, o experiments.Opts) (any, string, error) {
+			return nil, "other\n", nil
 		}},
 	}
 	s := NewServer(Config{Registry: experiments.NewRegistry(arts...), Workers: 1, QueueDepth: 1, Timeout: 5 * time.Second})
@@ -425,11 +425,11 @@ func TestResultCacheLRU(t *testing.T) {
 }
 
 func TestFlightGroupContext(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup(context.Background(), false)
 	release := make(chan struct{})
 	leaderDone := make(chan experiments.Result, 1)
 	go func() {
-		res, _, _ := g.Do(context.Background(), "k", func() (experiments.Result, error) {
+		res, _, _ := g.Do(context.Background(), "k", func(context.Context) (experiments.Result, error) {
 			<-release
 			return experiments.Result{Name: "landed"}, nil
 		})

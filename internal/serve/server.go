@@ -8,15 +8,25 @@
 // full. A cache hit returns the stored result without touching the
 // simulator; responses are byte-identical for every spelling of the same
 // request.
+//
+// Simulations run under cooperative cancellation contexts: every run is
+// cancelled on server shutdown (Close), and — with CancelAbandoned — an
+// uncached run whose last HTTP waiter disconnects is cancelled at its
+// next checkpoint, freeing the simulation slot immediately instead of
+// finishing a result nobody will read. By default an abandoned run
+// keeps flying and warms the cache, the behavior timed-out requests
+// have always relied on.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runctx"
 )
 
 // Errors the serving layer maps to HTTP statuses.
@@ -49,25 +59,49 @@ type Config struct {
 	// <= 0 means 1024.
 	CacheSize int
 	// Timeout bounds how long a single-artifact request waits for its
-	// result. A timed-out request gets 504, but the simulation keeps
-	// running and still populates the cache. <= 0 means 2 minutes.
+	// result. A timed-out request gets 504; unless CancelAbandoned
+	// cancels it, the simulation keeps running and still populates the
+	// cache. <= 0 means 2 minutes.
 	Timeout time.Duration
+	// CancelAbandoned cancels an uncached simulation once its last HTTP
+	// waiter has disconnected (or timed out), freeing the worker slot at
+	// the run's next cooperative checkpoint. The default false keeps the
+	// historical behavior: abandoned runs finish and warm the cache.
+	// Server shutdown (Close) always cancels in-flight runs regardless.
+	CancelAbandoned bool
+	// HealthPoll is the observation interval for /healthz degradation:
+	// the probe reports 503 once the job queue has been continuously
+	// full for longer than one interval. <= 0 means 5 seconds.
+	HealthPoll time.Duration
 }
 
 // Server serves registry artifacts over HTTP with caching, request
 // deduplication, and admission control. Create one with NewServer and
-// mount Handler on an http.Server.
+// mount Handler on an http.Server; call Close on shutdown to cancel
+// in-flight simulations.
 type Server struct {
-	reg     *experiments.Registry
-	opts    experiments.Opts
-	workers int
-	depth   int64
-	timeout time.Duration
+	reg             *experiments.Registry
+	opts            experiments.Opts
+	workers         int
+	depth           int64
+	timeout         time.Duration
+	cancelAbandoned bool
+	healthPoll      time.Duration
+
+	// lifecycle is the root of every simulation context; Close cancels
+	// it, so no run outlives the daemon.
+	lifecycle context.Context
+	close     context.CancelFunc
 
 	cache   *resultCache
 	flights *flightGroup
 	sem     chan struct{} // simulation slots; acquired only while running
 	metrics Metrics
+
+	// queueFull is the unix-nano timestamp since which the job queue has
+	// been continuously full (0 while below capacity); /healthz reports
+	// degraded once an episode outlasts one healthPoll interval.
+	queueFull atomic.Int64
 }
 
 // NewServer builds a Server from cfg, applying defaults for unset
@@ -93,17 +127,33 @@ func NewServer(cfg Config) *Server {
 	if timeout <= 0 {
 		timeout = 2 * time.Minute
 	}
+	healthPoll := cfg.HealthPoll
+	if healthPoll <= 0 {
+		healthPoll = 5 * time.Second
+	}
+	lifecycle, cancel := context.WithCancel(context.Background())
 	return &Server{
-		reg:     reg,
-		opts:    cfg.Opts.Normalize(),
-		workers: workers,
-		depth:   int64(depth),
-		timeout: timeout,
-		cache:   newResultCache(size),
-		flights: newFlightGroup(),
-		sem:     make(chan struct{}, workers),
+		reg:             reg,
+		opts:            cfg.Opts.Normalize(),
+		workers:         workers,
+		depth:           int64(depth),
+		timeout:         timeout,
+		cancelAbandoned: cfg.CancelAbandoned,
+		healthPoll:      healthPoll,
+		lifecycle:       lifecycle,
+		close:           cancel,
+		cache:           newResultCache(size),
+		flights:         newFlightGroup(lifecycle, cfg.CancelAbandoned),
+		sem:             make(chan struct{}, workers),
 	}
 }
+
+// Close cancels every in-flight and not-yet-started simulation; each
+// unwinds at its next cooperative checkpoint and its waiters see
+// context.Canceled. Cached results remain servable. Call it when
+// shutting the daemon down, before or alongside http.Server.Shutdown,
+// so draining is not stuck behind simulations nobody will wait for.
+func (s *Server) Close() { s.close() }
 
 // Metrics returns the server's live counters.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
@@ -114,6 +164,10 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // Result has Elapsed zeroed so the bytes are a pure function of
 // (name, Opts); wall-clock cost is an operational concern, visible in
 // /metrics, not part of the artifact.
+//
+// ctx is this caller's willingness to wait: when it expires the caller
+// gets its error, and the underlying run either keeps flying (default)
+// or is cancelled once no waiter remains (CancelAbandoned).
 func (s *Server) Artifact(ctx context.Context, name string, o experiments.Opts) (experiments.Result, error) {
 	a, ok := s.reg.Get(name)
 	if !ok {
@@ -125,7 +179,7 @@ func (s *Server) Artifact(ctx context.Context, name string, o experiments.Opts) 
 		s.metrics.CacheHits.Add(1)
 		return res, nil
 	}
-	return s.compute(ctx, key, a, o, true)
+	return s.compute(ctx, key, a, o, true, nil)
 }
 
 // compute returns the (possibly in-flight or cached) result for key,
@@ -133,8 +187,10 @@ func (s *Server) Artifact(ctx context.Context, name string, o experiments.Opts) 
 // the flight leader must claim a job-queue slot before simulating —
 // the single-artifact path's admission unit is one artifact. Stream
 // requests admit once per request instead and pass admitJob false.
-func (s *Server) compute(ctx context.Context, key string, a experiments.Artifact, o experiments.Opts, admitJob bool) (experiments.Result, error) {
-	res, shared, err := s.flights.Do(ctx, key, func() (experiments.Result, error) {
+// sink, when non-nil, receives the flight's progress ticks (only the
+// leader's sink is wired; joiners share the result, not the progress).
+func (s *Server) compute(ctx context.Context, key string, a experiments.Artifact, o experiments.Opts, admitJob bool, sink runctx.Sink) (experiments.Result, error) {
+	res, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) (experiments.Result, error) {
 		// A racing flight may have landed between the caller's cache
 		// probe and taking the flight lead; its result is already cached
 		// and this serve counts as a hit like any other.
@@ -146,9 +202,12 @@ func (s *Server) compute(ctx context.Context, key string, a experiments.Artifact
 			if !s.admit(1) {
 				return experiments.Result{}, ErrBusy
 			}
-			defer s.metrics.Queued.Add(-1)
+			defer s.release(1)
 		}
-		res := s.run(a, o)
+		res, err := s.run(fctx, a, o, sink)
+		if err != nil {
+			return experiments.Result{}, err
+		}
 		s.cache.Add(key, res)
 		return res, nil
 	})
@@ -161,27 +220,57 @@ func (s *Server) compute(ctx context.Context, key string, a experiments.Artifact
 }
 
 // admit reserves n job-queue slots, or reports the queue is full. The
-// caller owns decrementing Queued by n when its jobs finish.
+// caller owns releasing its slots when its jobs finish. Queue-full
+// episodes are timestamped for the /healthz degradation probe.
 func (s *Server) admit(n int) bool {
-	if s.metrics.Queued.Add(int64(n)) > s.depth {
+	q := s.metrics.Queued.Add(int64(n))
+	if q > s.depth {
 		s.metrics.Queued.Add(int64(-n))
+		s.queueFull.CompareAndSwap(0, time.Now().UnixNano())
 		return false
+	}
+	if q == s.depth {
+		s.queueFull.CompareAndSwap(0, time.Now().UnixNano())
 	}
 	return true
 }
 
+// release returns n job-queue slots and, once the queue is below
+// capacity again, ends the current queue-full episode.
+func (s *Server) release(n int) {
+	if s.metrics.Queued.Add(int64(-n)) < s.depth {
+		s.queueFull.Store(0)
+	}
+}
+
 // run executes one artifact on a simulation slot through the Runner, so
 // the per-artifact seed split (and hence every byte of the result)
-// matches a direct Runner.Run of the same selection.
-func (s *Server) run(a experiments.Artifact, o experiments.Opts) experiments.Result {
-	s.sem <- struct{}{}
+// matches a direct Runner.Run of the same selection. ctx cancellation
+// unwinds the simulation at its next checkpoint; a cancelled run
+// returns an error and caches nothing.
+func (s *Server) run(ctx context.Context, a experiments.Artifact, o experiments.Opts, sink runctx.Sink) (experiments.Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		// Cancelled while waiting for a slot: never started.
+		s.metrics.Cancellations.Add(1)
+		return experiments.Result{}, ctx.Err()
+	}
 	s.metrics.InFlight.Add(1)
 	defer func() {
 		s.metrics.InFlight.Add(-1)
 		<-s.sem
 	}()
 	s.metrics.CacheMisses.Add(1)
-	res := experiments.Runner{Opts: o, Workers: 1}.Run([]experiments.Artifact{a})[0]
+	rc := runctx.New(ctx, sink)
+	res := experiments.Runner{Opts: o, Workers: 1}.RunEmitCtx(rc, []experiments.Artifact{a}, nil)[0]
+	if res.Err != "" {
+		s.metrics.Cancellations.Add(1)
+		if err := ctx.Err(); err != nil {
+			return experiments.Result{}, err
+		}
+		return experiments.Result{}, errors.New(res.Err)
+	}
 	res.Elapsed = 0 // determinism: responses depend only on (name, Opts)
-	return res
+	return res, nil
 }

@@ -10,57 +10,106 @@ import (
 // flightGroup collapses concurrent calls for the same key into one
 // execution: the first caller becomes the leader and runs fn; everyone
 // else (and the leader) waits for that one execution's outcome. Results
-// are deterministic, so sharing is always safe. The execution is
-// detached from any single caller's context — a waiter that times out
-// abandons the wait, but the computation completes and still populates
-// the cache, warming it for the next request.
+// are deterministic, so sharing is always safe.
+//
+// Every flight runs under its own context derived from the group's base
+// (cancelled on server shutdown, so no simulation outlives the daemon)
+// and counts its waiters. A waiter whose own context expires abandons
+// the wait; when the last waiter abandons a still-flying flight, the
+// flight is cancelled if the group was built with cancelAbandoned —
+// freeing its simulation slot within one checkpoint — or left flying to
+// warm the cache otherwise (the historical detached behavior).
 type flightGroup struct {
-	mu      sync.Mutex
-	flights map[string]*flight
+	mu              sync.Mutex
+	flights         map[string]*flight
+	base            context.Context
+	cancelAbandoned bool
 }
 
 type flight struct {
-	done chan struct{} // closed when res/err are set
-	res  experiments.Result
-	err  error
+	done      chan struct{} // closed when res/err are set
+	cancel    context.CancelFunc
+	waiters   int
+	abandoned bool // last waiter left and the flight was cancelled
+	res       experiments.Result
+	err       error
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{flights: make(map[string]*flight)}
+func newFlightGroup(base context.Context, cancelAbandoned bool) *flightGroup {
+	if base == nil {
+		base = context.Background()
+	}
+	return &flightGroup{
+		flights:         make(map[string]*flight),
+		base:            base,
+		cancelAbandoned: cancelAbandoned,
+	}
 }
 
 // Do returns the result of running fn under key, executing fn at most
-// once across all concurrent callers of the same key. shared reports
-// whether this caller joined a flight started by another. If ctx expires
-// before the flight lands, Do returns ctx.Err() but the flight keeps
-// flying for the remaining callers.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() (experiments.Result, error)) (res experiments.Result, shared bool, err error) {
+// once across all concurrent callers of the same key. fn receives the
+// flight's own context, which is cancelled on server shutdown and —
+// with cancelAbandoned — once every waiter has abandoned the flight.
+// shared reports whether this caller joined a flight started by
+// another. If ctx expires before the flight lands, Do returns ctx.Err()
+// and the caller stops being a waiter.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (experiments.Result, error)) (res experiments.Result, shared bool, err error) {
 	g.mu.Lock()
-	if f, inFlight := g.flights[key]; inFlight {
-		g.mu.Unlock()
-		select {
-		case <-f.done:
-			return f.res, true, f.err
-		case <-ctx.Done():
-			return experiments.Result{}, true, ctx.Err()
+	for {
+		f, inFlight := g.flights[key]
+		if !inFlight {
+			break
 		}
+		if f.abandoned {
+			// The flight was cancelled when its last waiter left, but its
+			// fn has not unwound yet. Joining would hand this live caller
+			// a spurious cancellation; wait for the corpse to clear the
+			// map and lead a fresh flight instead.
+			g.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return experiments.Result{}, true, ctx.Err()
+			}
+			g.mu.Lock()
+			continue
+		}
+		f.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, f, true)
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(g.base)
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	g.flights[key] = f
 	g.mu.Unlock()
 
 	go func() {
-		f.res, f.err = fn()
+		res, err := fn(fctx)
 		g.mu.Lock()
+		f.res, f.err = res, err
 		delete(g.flights, key)
 		g.mu.Unlock()
 		close(f.done)
+		cancel() // flight landed; release the context's resources
 	}()
+	return g.wait(ctx, f, false)
+}
 
+func (g *flightGroup) wait(ctx context.Context, f *flight, shared bool) (experiments.Result, bool, error) {
 	select {
 	case <-f.done:
-		return f.res, false, f.err
+		return f.res, shared, f.err
 	case <-ctx.Done():
-		return experiments.Result{}, false, ctx.Err()
+		// The abandonment decision and the cancel happen under the group
+		// lock, so a racing joiner either arrives first (waiters > 0, no
+		// cancel) or observes f.abandoned and leads a fresh flight.
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 && g.cancelAbandoned {
+			f.abandoned = true
+			f.cancel()
+		}
+		g.mu.Unlock()
+		return experiments.Result{}, shared, ctx.Err()
 	}
 }

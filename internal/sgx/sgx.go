@@ -14,6 +14,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/runctx"
 	"repro/internal/stats"
 )
 
@@ -44,6 +45,7 @@ func requireSGX(m cpu.Model) {
 type NonMTChannel struct {
 	cfg  attack.NonMTConfig
 	core *cpu.Core
+	rc   runctx.Ctx
 
 	one  []*isa.Block
 	zero []*isa.Block
@@ -71,6 +73,11 @@ func NewNonMT(cfg attack.NonMTConfig) *NonMTChannel {
 	return c
 }
 
+// BindCtx implements channel.CtxAware: an SGX bit costs two enclave
+// transitions plus >=1000 loop iterations, so a cancelled bit is
+// skipped before the enclave entry.
+func (c *NonMTChannel) BindCtx(rc runctx.Ctx) { c.rc = rc }
+
 // Name implements channel.BitChannel.
 func (c *NonMTChannel) Name() string {
 	mode := "Fast"
@@ -90,6 +97,9 @@ func (c *NonMTChannel) Cycles() uint64 { return c.core.Cycle() }
 // the init/encode/decode loop inside the enclave, enclave exit; the
 // receiver measures the whole call with enclave-inflated noise.
 func (c *NonMTChannel) SendBit(m byte) float64 {
+	if c.rc.Err() != nil {
+		return 0 // cancelled: the caller discards this bit
+	}
 	blocks := c.one
 	if m == '0' {
 		blocks = c.zero
@@ -119,6 +129,7 @@ func (c *NonMTChannel) SendBit(m byte) float64 {
 type MTChannel struct {
 	cfg  attack.MTConfig
 	core *cpu.Core
+	rc   runctx.Ctx
 
 	recv   []*isa.Block
 	sender []*isa.Block
@@ -136,6 +147,9 @@ func NewMT(cfg attack.MTConfig) *MTChannel {
 	}
 }
 
+// BindCtx implements channel.CtxAware.
+func (c *MTChannel) BindCtx(rc runctx.Ctx) { c.rc = rc }
+
 // Name implements channel.BitChannel.
 func (c *MTChannel) Name() string { return fmt.Sprintf("SGX MT %s", c.cfg.Kind) }
 
@@ -147,6 +161,9 @@ func (c *MTChannel) Cycles() uint64 { return c.core.Cycle() }
 
 // SendBit implements channel.BitChannel.
 func (c *MTChannel) SendBit(m byte) float64 {
+	if c.rc.Err() != nil {
+		return 0 // cancelled: the caller discards this bit
+	}
 	model := c.cfg.Model
 	// One enclave entry per bit on the sender thread.
 	c.core.RunCycles(uint64(model.EnclaveTransitionCycles))

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/runctx"
 	"repro/internal/stats"
 )
 
@@ -432,12 +433,26 @@ func (l *Lab) leakLRU(v int) int {
 // Leak runs the full attack for a secret byte string: each byte's low 5
 // bits are one chunk.
 func (l *Lab) Leak(secret []byte) Result {
+	res, _ := l.LeakCtx(runctx.Background(), secret)
+	return res
+}
+
+// LeakCtx is Leak with cooperative cancellation and progress: it
+// checkpoints once per leaked chunk (each chunk is a full train/
+// transient/probe round over 32 candidate values) and returns the
+// context's error if the run is cancelled mid-leak. An uncancelled
+// LeakCtx is byte-identical to Leak.
+func (l *Lab) LeakCtx(rc runctx.Ctx, secret []byte) (Result, error) {
+	stage := "spectre " + l.cfg.Chan.String()
 	l.core.L1I.ResetStats()
 	l.core.L1D.ResetStats()
 	l.core.FE.DSB.ResetStats()
 	correct := 0
 	recovered := make([]byte, len(secret))
 	for i, b := range secret {
+		if err := rc.Step(stage, i, len(secret)); err != nil {
+			return Result{}, err
+		}
 		v := int(b) & 31
 		got := l.LeakChunk(v)
 		if got == v {
@@ -465,5 +480,5 @@ func (l *Lab) Leak(secret []byte) Result {
 	} else {
 		res.L1MissRate = res.L1DMiss
 	}
-	return res
+	return res, nil
 }

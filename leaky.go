@@ -19,6 +19,7 @@
 package leaky
 
 import (
+	"context"
 	"net/http"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/fingerprint"
+	"repro/internal/runctx"
 	"repro/internal/serve"
 	"repro/internal/sgx"
 	"repro/internal/spectre"
@@ -216,8 +218,12 @@ type ExperimentOpts = experiments.Opts
 type ExperimentArtifact = experiments.Artifact
 
 // ExperimentResult records one artifact run: derived seed, structured
-// data, rendered text, and wall-clock timing.
+// data, rendered text, and wall-clock timing. Err is set instead of
+// data when the run was cancelled before the artifact completed.
 type ExperimentResult = experiments.Result
+
+// RunProgress is one progress tick from inside a running artifact.
+type RunProgress = runctx.Event
 
 // Experiments returns the registered artifact catalog in paper order.
 func Experiments() []ExperimentArtifact { return experiments.Default().Artifacts() }
@@ -230,11 +236,23 @@ func Experiments() []ExperimentArtifact { return experiments.Default().Artifacts
 // the recorded wall-clock timings vary). Unknown patterns error before
 // anything runs.
 func RunExperiments(patterns []string, o ExperimentOpts, workers int) ([]ExperimentResult, error) {
+	return RunExperimentsCtx(context.Background(), patterns, o, workers, nil)
+}
+
+// RunExperimentsCtx is RunExperiments with cooperative cancellation and
+// progress reporting. Cancelling ctx unwinds in-flight artifacts at
+// their next checkpoint and skips unstarted ones; each such artifact's
+// result carries Err, while artifacts that completed before the
+// cancellation are byte-identical to an uninterrupted run's. progress,
+// when non-nil, receives throttle-free ticks from every running
+// artifact (it must be safe for concurrent use).
+func RunExperimentsCtx(ctx context.Context, patterns []string, o ExperimentOpts, workers int, progress func(RunProgress)) ([]ExperimentResult, error) {
 	arts, err := experiments.Default().Select(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	return experiments.Runner{Opts: o, Workers: workers}.Run(arts), nil
+	rc := runctx.New(ctx, progress)
+	return experiments.Runner{Opts: o, Workers: workers}.RunEmitCtx(rc, arts, nil), nil
 }
 
 // Server is the artifact-serving daemon core: a deterministic result
@@ -266,13 +284,19 @@ func Serve(addr string, cfg ServeConfig) error {
 
 // runArtifact dispatches one named artifact through the registry with the
 // caller's options applied verbatim (no seed splitting), preserving the
-// behavior of the historical direct-call API.
+// behavior of the historical direct-call API. It runs under the
+// never-cancelled background context, so the registry's error return is
+// unreachable here.
 func runArtifact(name string, o ExperimentOpts) (any, string) {
 	a, ok := experiments.Default().Get(name)
 	if !ok {
 		panic("leaky: unknown experiment " + name)
 	}
-	return a.Run(o)
+	d, s, err := a.Run(experiments.RunCtx{}, o)
+	if err != nil {
+		panic("leaky: uncancellable run reported " + err.Error())
+	}
+	return d, s
 }
 
 // Experiment runners: each regenerates one table or figure of the paper
