@@ -219,9 +219,9 @@ func BenchmarkServe_ArtifactCacheHit(b *testing.B) {
 func BenchmarkAblation_Defenses(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		base := leaky.XeonE2288G()
-		baseErr := leaky.DefenseResidualError(base, 60)
-		defErr := leaky.DefenseResidualError(leaky.EqualizePaths(base), 60)
-		cost := leaky.DefenseCost(leaky.Gold6226(), leaky.EqualizePaths(leaky.Gold6226()))
+		baseErr := leaky.DefenseResidualError(base, 60, 1)
+		defErr := leaky.DefenseResidualError(leaky.EqualizePaths(base), 60, 1)
+		cost := leaky.DefenseCost(leaky.Gold6226(), leaky.EqualizePaths(leaky.Gold6226()), 1)
 		b.ReportMetric(baseErr*100, "baseline-err-%")
 		b.ReportMetric(defErr*100, "defended-err-%")
 		b.ReportMetric(cost, "slowdown-x")

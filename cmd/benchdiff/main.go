@@ -1,0 +1,133 @@
+// Command benchdiff compares two `go test -json -bench` result files
+// and reports per-benchmark ns/op deltas, so CI can track the perf
+// trajectory across runs. It is warn-only by default — smoke benchmarks
+// at -benchtime=1x are too noisy to gate on — and exits non-zero only
+// when -fail-over is set and some regression exceeds it.
+//
+// Usage:
+//
+//	benchdiff -old .github/bench/BENCH_baseline.json -new BENCH_ci.json
+//	benchdiff -old old.json -new new.json -warn-over 50 -fail-over 300
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// event is the subset of the go-test-json stream benchdiff reads.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+var nsPerOp = regexp.MustCompile(`(?:^|\s)([0-9.]+) ns/op`)
+
+// load extracts pkg.benchmark -> ns/op from one result file. A
+// benchmark reported more than once keeps its last value.
+func load(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise (build output, teed text)
+		}
+		if ev.Action != "output" || ev.Test == "" {
+			continue
+		}
+		m := nsPerOp.FindStringSubmatch(ev.Output)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		out[ev.Package+"."+ev.Test] = ns
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		oldPath  = flag.String("old", "", "baseline go-test-json bench results")
+		newPath  = flag.String("new", "", "current go-test-json bench results")
+		warnOver = flag.Float64("warn-over", 50, "flag benchmarks whose ns/op moved more than this percentage")
+		failOver = flag.Float64("fail-over", 0, "exit 1 when a regression exceeds this percentage (0 = never fail)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRes, err := load(*oldPath)
+	if err != nil {
+		// A missing baseline is the bootstrap state, not an error: report
+		// and succeed so the job that archives the new results still runs.
+		fmt.Printf("benchdiff: no usable baseline (%v); nothing to compare\n", err)
+		return
+	}
+	newRes, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading new results: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	flagged, failed := 0, false
+	for _, name := range names {
+		nv := newRes[name]
+		ov, ok := oldRes[name]
+		if !ok {
+			fmt.Printf("%-64s %14s %14.0f %9s\n", name, "-", nv, "new")
+			continue
+		}
+		delta := 0.0
+		if ov > 0 {
+			delta = (nv - ov) / ov * 100
+		}
+		mark := ""
+		if delta >= *warnOver || -delta >= *warnOver {
+			mark = "  <-- moved"
+			flagged++
+		}
+		if *failOver > 0 && delta >= *failOver {
+			mark = "  <-- REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-64s %14.0f %14.0f %+8.1f%%%s\n", name, ov, nv, delta, mark)
+	}
+	removed := 0
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			fmt.Printf("%-64s %14.0f %14s %9s\n", name, oldRes[name], "-", "gone")
+			removed++
+		}
+	}
+	fmt.Printf("\n%d benchmarks compared, %d moved beyond %.0f%%, %d removed\n",
+		len(names), flagged, *warnOver, removed)
+	if failed {
+		os.Exit(1)
+	}
+}

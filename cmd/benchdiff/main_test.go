@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadExtractsNsPerOp(t *testing.T) {
+	blob := `{"Action":"output","Package":"repro","Test":"BenchmarkA","Output":"BenchmarkA \t 1\t 67997 ns/op\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkB","Output":"       1\t  49887180 ns/op\t       153.1 DSB-cycles\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkB","Output":"no metric here\n"}
+{"Action":"run","Package":"repro","Test":"BenchmarkC"}
+not json at all
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+`
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"repro.BenchmarkA": 67997,
+		"repro.BenchmarkB": 49887180,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestLoadOfCommittedBaseline(t *testing.T) {
+	res, err := load("../../.github/bench/BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	if len(res) == 0 {
+		t.Fatal("committed baseline holds no benchmarks; the CI compare step would be vacuous")
+	}
+}

@@ -1,18 +1,25 @@
-// Command covertchan transmits a message over a chosen frontend covert
-// channel and reports the achieved transmission and error rates.
+// Command covertchan transmits a message over any covert-channel
+// scenario in the paper's attack space, declared as a ChannelSpec
+// through flags, and reports the achieved transmission and error rates.
 //
 // Usage:
 //
-//	covertchan -model "Xeon E-2288G" -attack misalignment -variant fast -text HELLO
+//	covertchan -model "Xeon E-2288G" -mechanism misalignment -text HELLO
+//	covertchan -mechanism eviction -threading mt -d 3 -text HI
+//	covertchan -model "Xeon E-2174G" -sgx -stealthy -text SECRET
+//	covertchan -list          # print the valid scenario space for -model
+//
+// The historical -attack and -variant flags remain as deprecated
+// aliases for the spec flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	leaky "repro"
-	"repro/internal/cmdutil"
 )
 
 // toBits encodes text as a bit string, MSB first.
@@ -41,39 +48,93 @@ func fromBits(bits string) string {
 
 func main() {
 	var (
-		model   = flag.String("model", "Gold 6226", "CPU model (Table I name)")
-		attack  = flag.String("attack", "eviction", "eviction | misalignment | slowswitch | power")
-		variant = flag.String("variant", "fast", "fast | stealthy | mt | sgx")
-		text    = flag.String("text", "LEAKY", "message to transmit")
+		model     = flag.String("model", "Gold 6226", "CPU model (Table I name)")
+		mechanism = flag.String("mechanism", "", "eviction | misalignment | slowswitch (default eviction)")
+		threading = flag.String("threading", "", "nonmt | mt (default nonmt)")
+		sink      = flag.String("sink", "", "timing | power (default timing)")
+		sgxOn     = flag.Bool("sgx", false, "put the sender inside an SGX enclave")
+		stealthy  = flag.Bool("stealthy", false, "bit 0 executes decoy blocks instead of nothing")
+		d         = flag.Int("d", 0, "receiver way count d (0 means the mechanism default)")
+		p         = flag.Int("p", 0, "per-bit repetition parameter (0 means the mechanism default)")
+		calib     = flag.Int("calib", 0, "calibration-preamble bits (0 means the default 40)")
+		seed      = flag.Uint64("seed", 0, "channel seed (0 means the default 1)")
+		text      = flag.String("text", "LEAKY", "message to transmit")
+		list      = flag.Bool("list", false, "print the valid scenario space for -model and exit")
+
+		// Deprecated aliases, kept one release.
+		attack  = flag.String("attack", "", "deprecated: eviction | misalignment | slowswitch | power (use -mechanism/-sink)")
+		variant = flag.String("variant", "", "deprecated: fast | stealthy | mt | sgx (use -stealthy/-threading/-sgx)")
 	)
 	flag.Parse()
 
-	m := cmdutil.MustModel(*model)
-	kind := leaky.Eviction
-	if strings.HasPrefix(*attack, "mis") {
-		kind = leaky.Misalignment
+	cs := leaky.ChannelSpec{
+		Model:     *model,
+		Mechanism: leaky.Mechanism(*mechanism),
+		Threading: leaky.Threading(*threading),
+		Sink:      leaky.ChannelSink(*sink),
+		SGX:       *sgxOn,
+		Stealthy:  *stealthy,
+		D:         *d,
+		P:         *p,
+		CalibBits: *calib,
+		Seed:      *seed,
 	}
 
-	var ch leaky.Channel
+	// Fold the deprecated flags into the spec with the old precedence:
+	// "-attack power" meant the power sink over the eviction mechanism,
+	// and -attack slowswitch/power always ignored -variant.
+	variantApplies := true
 	switch {
+	case *attack == "":
+	case strings.HasPrefix(*attack, "mis"):
+		cs.Mechanism = leaky.MechanismMisalignment
 	case *attack == "slowswitch":
-		ch = leaky.NewSlowSwitchChannel(m)
+		cs.Mechanism = leaky.MechanismSlowSwitch
+		variantApplies = false
 	case *attack == "power":
-		ch = leaky.NewPowerChannel(m, kind)
-	case *variant == "stealthy":
-		ch = leaky.NewStealthyCovertChannel(m, kind)
-	case *variant == "mt":
-		ch = leaky.NewMTCovertChannel(m, kind)
-	case *variant == "sgx":
-		ch = leaky.NewSGXChannel(m, kind, false)
+		cs.Sink = leaky.SinkPower
+		variantApplies = false
 	default:
-		ch = leaky.NewFastCovertChannel(m, kind)
+		cs.Mechanism = leaky.MechanismEviction
+	}
+	if variantApplies {
+		switch *variant {
+		case "stealthy":
+			cs.Stealthy = true
+		case "mt":
+			cs.Threading = leaky.ThreadingMT
+		case "sgx":
+			cs.SGX = true
+		}
 	}
 
+	m, err := cs.ResolveModel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *list {
+		fmt.Printf("valid covert-channel scenarios on %s:\n", m.Name)
+		for _, s := range leaky.EnumerateSpecs(m) {
+			fmt.Printf("  %s\n", s)
+		}
+		return
+	}
+
+	if err := cs.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	bits := toBits(*text)
-	fmt.Printf("channel : %s on %s\n", ch.Name(), m.Name)
+	fmt.Printf("spec    : %s\n", cs)
 	fmt.Printf("sending : %q (%d bits)\n", *text, len(bits))
-	res := leaky.Transmit(ch, m.Name, bits)
+	res, err := cs.Transmit(bits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("channel : %s on %s\n", res.Channel, res.Model)
 	fmt.Printf("received: %q\n", fromBits(res.Received))
 	fmt.Printf("rate    : %.2f Kbps\n", res.RateKbps)
 	fmt.Printf("errors  : %.2f%%\n", 100*res.ErrorRate)

@@ -21,6 +21,10 @@
 //	GET /v1/artifacts                 catalog
 //	GET /v1/artifacts/{name}          one result (?format=json|text, ?seed=, ?bits=, ?samples=)
 //	GET /v1/run?sel=table*            NDJSON stream in catalog order (?progress=1 interleaves progress events)
+//	GET /v1/channels                  the valid covert-channel scenario space (?model= narrows)
+//	POST /v1/channels/run             run one declared scenario: {"spec": {...}, "opts": {...}};
+//	                                  invalid specs fail 400 before consuming a slot, results
+//	                                  cache forever under the spec's canonical key
 //	GET /healthz                      liveness; 503 when the job queue stays full
 //	GET /metrics                      Prometheus text counters
 package main

@@ -14,11 +14,12 @@ import (
 
 func main() {
 	model := flag.String("model", "Gold 6226", "CPU model (Table I name)")
+	seed := flag.Uint64("seed", 1, "measurement seed (0 means the default)")
 	flag.Parse()
 
 	m := cmdutil.MustModel(*model)
 	for _, actual := range []leaky.MicrocodePatch{leaky.Patch1, leaky.Patch2} {
-		detected := leaky.DetectMicrocode(m, actual)
+		detected := leaky.DetectMicrocode(m, actual, *seed)
 		fmt.Printf("machine running %v\n", actual)
 		fmt.Printf("  attacker detects: %v\n", detected)
 		if detected == leaky.Patch1 {

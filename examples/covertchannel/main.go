@@ -35,9 +35,13 @@ func text(bs string) string {
 func main() {
 	secret := "FRONTENDS LEAK"
 	for _, m := range leaky.Models() {
-		ch := leaky.NewFastCovertChannel(m, leaky.Misalignment)
-		res := leaky.Transmit(ch, m.Name, bits(secret))
+		cs := leaky.ChannelSpec{Model: m.Name, Mechanism: leaky.MechanismMisalignment}
+		res, err := cs.Transmit(bits(secret))
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
 		fmt.Printf("%-14s %-38s %8.0f Kbps  err %5.2f%%  -> %q\n",
-			m.Name, ch.Name(), res.RateKbps, 100*res.ErrorRate, text(res.Received))
+			m.Name, res.Channel, res.RateKbps, 100*res.ErrorRate, text(res.Received))
 	}
 }

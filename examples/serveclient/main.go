@@ -1,7 +1,8 @@
 // Serveclient queries a running leakyfed daemon: it lists the catalog,
 // fetches one artifact twice (the second hit comes from the
-// deterministic cache), streams a selection as NDJSON, and dumps the
-// server's counters. Start the daemon first:
+// deterministic cache), streams a selection as NDJSON, runs one
+// declared covert-channel scenario through POST /v1/channels/run, and
+// dumps the server's counters. Start the daemon first:
 //
 //	go run ./cmd/leakyfed -addr :8080 &
 //	go run ./examples/serveclient -addr http://127.0.0.1:8080
@@ -15,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -109,7 +111,30 @@ func run(base string) error {
 		return fmt.Errorf("stream interrupted: %w", err)
 	}
 
-	// 4. Operational counters.
+	// 4. A declared covert-channel scenario: POST a ChannelSpec and the
+	// daemon simulates it once, then serves the cached bytes to every
+	// identical request — the whole attack space is servable, not just
+	// the 14 frozen artifacts (GET /v1/channels lists the valid space).
+	specBody := `{"spec": {"model": "Xeon E-2288G", "mechanism": "misalignment", "stealthy": true}, "opts": {"bits": 40}}`
+	for attempt := 1; attempt <= 2; attempt++ {
+		start := time.Now()
+		resp, err := http.Post(base+"/v1/channels/run", "application/json", strings.NewReader(specBody))
+		if err != nil {
+			return fmt.Errorf("POST /v1/channels/run: %w", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /v1/channels/run: %s: %s", resp.Status, body)
+		}
+		var res experiments.Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			return fmt.Errorf("decoding channel run: %w", err)
+		}
+		fmt.Printf("\nPOST /v1/channels/run (#%d, %v):\n  %s  %s", attempt, time.Since(start).Round(time.Microsecond), res.Desc, res.Rendered)
+	}
+
+	// 5. Operational counters.
 	resp, err = fetch(base, "/metrics")
 	if err != nil {
 		return err

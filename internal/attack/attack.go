@@ -47,6 +47,13 @@ const (
 	DefaultM = 8
 	// DefaultP is p=q=10 iterations per bit for non-MT channels.
 	DefaultP = 10
+	// DefaultMeasurements is the timed decode passes the MT receiver
+	// averages per bit (the paper's p/q = 10).
+	DefaultMeasurements = 10
+	// DefaultPowerIters is the per-bit iteration count of the power
+	// channels' benchmark setting (half the paper's 240,000; see
+	// PowerConfig.Iters).
+	DefaultPowerIters = 120_000
 	// DSBWays is N, the DSB associativity.
 	DSBWays = 8
 

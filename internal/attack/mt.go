@@ -41,7 +41,7 @@ func DefaultMT(model cpu.Model, kind Kind) MTConfig {
 		D:            DefaultD,
 		M:            DefaultM,
 		QBase:        800,
-		Measurements: 10,
+		Measurements: DefaultMeasurements,
 		Seed:         1,
 	}
 	if kind == Misalignment {

@@ -30,7 +30,7 @@ type PowerConfig struct {
 
 // DefaultPower returns the power-channel configuration (d=6, Table V).
 func DefaultPower(model cpu.Model, kind Kind) PowerConfig {
-	cfg := PowerConfig{Model: model, Kind: kind, D: DefaultD, M: DefaultM, Iters: 120_000, Set: evictionSet, Seed: 1}
+	cfg := PowerConfig{Model: model, Kind: kind, D: DefaultD, M: DefaultM, Iters: DefaultPowerIters, Set: evictionSet, Seed: 1}
 	if kind == Misalignment {
 		cfg.D = DefaultMisalignD
 	}

@@ -14,14 +14,13 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/attack"
 	"repro/internal/channel"
 	"repro/internal/cpu"
 	"repro/internal/fingerprint"
 	"repro/internal/isa"
 	"repro/internal/power"
 	"repro/internal/rng"
-	"repro/internal/sgx"
+	"repro/internal/spec"
 	"repro/internal/spectre"
 	"repro/internal/stats"
 	"repro/internal/ucode"
@@ -191,10 +190,15 @@ func Figure4(rc RunCtx, o Opts) ([2]Figure4Row, string, error) {
 
 // TableII reproduces the message-pattern study (Table II): the MT
 // eviction channel at d=1 for all-0s, all-1s, alternating, and random
-// messages on the three hyper-threaded machines.
+// messages on the three hyper-threaded machines. The channel list is
+// the MT eviction slice of the enumerated scenario space, narrowed to
+// the d=1 contended-sender protocol the paper uses here.
 func TableII(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	o = o.Normalize()
 	models := []cpu.Model{cpu.Gold6226(), cpu.XeonE2174G(), cpu.XeonE2286G()}
+	specs := spec.Filter(spec.Enumerate(models...), func(s spec.ChannelSpec) bool {
+		return s.Threading == spec.ThreadingMT && s.Mechanism == spec.MechanismEviction && !s.SGX
+	})
 	patterns := []struct {
 		name string
 		gen  func(int) string
@@ -208,27 +212,25 @@ func TableII(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table II: MT Eviction-Based channel, d=1, by message pattern\n")
 	fmt.Fprintf(&b, "%-12s %-14s %12s %10s\n", "Pattern", "Model", "Rate (Kbps)", "Error")
-	done, total := 0, len(patterns)*len(models)
+	done, total := 0, len(patterns)*len(specs)
 	for _, p := range patterns {
-		for _, m := range models {
+		for _, cs := range specs {
 			if err := rc.Step("pattern sweep", done, total); err != nil {
 				return nil, "", err
 			}
-			cfg := attack.DefaultMT(m, attack.Eviction)
-			cfg.D = 1
 			// A single-way receiver needs the contended-sender protocol:
 			// the eviction signal of one way is too small on its own.
-			cfg.ContendedSender = true
-			cfg.Seed = o.Seed
-			ch := attack.NewMT(cfg)
-			res, err := channel.TransmitCtx(rc, ch, m.Name, p.gen(o.Bits), 30)
+			cs.D, cs.Contended = 1, true
+			cs.Seed = o.Seed
+			cs.CalibBits = 30
+			res, err := cs.TransmitCtx(rc, p.gen(o.Bits))
 			if err != nil {
 				return nil, "", err
 			}
 			res.Channel = p.name
 			results = append(results, res)
 			done++
-			fmt.Fprintf(&b, "%-12s %-14s %12.2f %9.2f%%\n", p.name, m.Name, res.RateKbps, 100*res.ErrorRate)
+			fmt.Fprintf(&b, "%-12s %-14s %12.2f %9.2f%%\n", p.name, res.Model, res.RateKbps, 100*res.ErrorRate)
 		}
 	}
 	return results, b.String(), nil
@@ -243,38 +245,23 @@ func TableIII(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table III: covert-channel transmission and error rates (alternating message)\n")
 	fmt.Fprintf(&b, "%-40s %-14s %12s %10s\n", "Channel", "Model", "Rate (Kbps)", "Error")
-	emit := func(ch channel.BitChannel, model string) error {
-		if err := rc.Step("channel matrix", len(results), 22); err != nil {
-			return err
+	// The matrix is exactly the plain timing slice of the enumerated
+	// scenario space; the canonical enumeration order is the paper's row
+	// order (per mechanism: non-MT stealthy, non-MT fast, then MT).
+	specs := spec.Filter(spec.Enumerate(cpu.Models()...), func(s spec.ChannelSpec) bool {
+		return s.Sink == spec.SinkTiming && !s.SGX && s.Mechanism != spec.MechanismSlowSwitch
+	})
+	for _, cs := range specs {
+		if err := rc.Step("channel matrix", len(results), len(specs)); err != nil {
+			return nil, "", err
 		}
-		res, err := channel.TransmitCtx(rc, ch, model, msg, 40)
+		cs.Seed = o.Seed
+		res, err := cs.TransmitCtx(rc, msg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
 		results = append(results, res)
 		fmt.Fprintf(&b, "%-40s %-14s %12.2f %9.2f%%\n", res.Channel, res.Model, res.RateKbps, 100*res.ErrorRate)
-		return nil
-	}
-	for _, kind := range []attack.Kind{attack.Eviction, attack.Misalignment} {
-		for _, stealthy := range []bool{true, false} {
-			for _, m := range cpu.Models() {
-				cfg := attack.DefaultNonMT(m, kind, stealthy)
-				cfg.Seed = o.Seed
-				if err := emit(attack.NewNonMT(cfg), m.Name); err != nil {
-					return nil, "", err
-				}
-			}
-		}
-		for _, m := range cpu.Models() {
-			if !m.HyperThreading {
-				continue
-			}
-			cfg := attack.DefaultMT(m, kind)
-			cfg.Seed = o.Seed
-			if err := emit(attack.NewMT(cfg), m.Name); err != nil {
-				return nil, "", err
-			}
-		}
 	}
 	return results, b.String(), nil
 }
@@ -287,15 +274,17 @@ func TableIV(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table IV: Non-MT Slow-Switch-Based channel (alternating message)\n")
 	fmt.Fprintf(&b, "%-14s %12s %10s\n", "Model", "Rate (Kbps)", "Error")
-	for _, m := range []cpu.Model{cpu.Gold6226(), cpu.XeonE2288G()} {
-		cfg := attack.DefaultSlowSwitch(m)
-		cfg.Seed = o.Seed
-		res, err := channel.TransmitCtx(rc, attack.NewSlowSwitch(cfg), m.Name, msg, 40)
+	specs := spec.Filter(spec.Enumerate(cpu.Gold6226(), cpu.XeonE2288G()), func(s spec.ChannelSpec) bool {
+		return s.Mechanism == spec.MechanismSlowSwitch
+	})
+	for _, cs := range specs {
+		cs.Seed = o.Seed
+		res, err := cs.TransmitCtx(rc, msg)
 		if err != nil {
 			return nil, "", err
 		}
 		results = append(results, res)
-		fmt.Fprintf(&b, "%-14s %12.2f %9.2f%%\n", m.Name, res.RateKbps, 100*res.ErrorRate)
+		fmt.Fprintf(&b, "%-14s %12.2f %9.2f%%\n", res.Model, res.RateKbps, 100*res.ErrorRate)
 	}
 	return results, b.String(), nil
 }
@@ -313,10 +302,13 @@ func TableV(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table V: Non-MT power channels, Gold 6226, d=6 (RAPL receiver)\n")
 	fmt.Fprintf(&b, "%-26s %12s %10s\n", "Channel", "Rate (Kbps)", "Error")
-	for _, kind := range []attack.Kind{attack.Eviction, attack.Misalignment} {
-		cfg := attack.DefaultPower(cpu.Gold6226(), kind)
-		cfg.Seed = o.Seed
-		res, err := channel.TransmitCtx(rc, attack.NewPower(cfg), "Gold 6226", msg, 6)
+	specs := spec.Filter(spec.Enumerate(cpu.Gold6226()), func(s spec.ChannelSpec) bool {
+		return s.Sink == spec.SinkPower
+	})
+	for _, cs := range specs {
+		cs.Seed = o.Seed
+		cs.CalibBits = 6
+		res, err := cs.TransmitCtx(rc, msg)
 		if err != nil {
 			return nil, "", err
 		}
@@ -340,38 +332,26 @@ func TableVI(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table VI: SGX covert channels (alternating message)\n")
 	fmt.Fprintf(&b, "%-40s %-14s %12s %10s\n", "Channel", "Model", "Rate (Kbps)", "Error")
-	emit := func(ch channel.BitChannel, model string, calib int) error {
-		if err := rc.Step("SGX matrix", len(results), 16); err != nil {
-			return err
+	// The SGX slice of the enumerated scenario space, with the paper's
+	// shorter calibration preambles (enclave bits are expensive).
+	specs := spec.Filter(spec.Enumerate(models...), func(s spec.ChannelSpec) bool {
+		return s.SGX
+	})
+	for _, cs := range specs {
+		if err := rc.Step("SGX matrix", len(results), len(specs)); err != nil {
+			return nil, "", err
 		}
-		res, err := channel.TransmitCtx(rc, ch, model, msg, calib)
+		cs.Seed = o.Seed
+		cs.CalibBits = 10
+		if cs.Threading == spec.ThreadingMT {
+			cs.CalibBits = 8
+		}
+		res, err := cs.TransmitCtx(rc, msg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
 		results = append(results, res)
 		fmt.Fprintf(&b, "%-40s %-14s %12.2f %9.2f%%\n", res.Channel, res.Model, res.RateKbps, 100*res.ErrorRate)
-		return nil
-	}
-	for _, kind := range []attack.Kind{attack.Eviction, attack.Misalignment} {
-		for _, stealthy := range []bool{true, false} {
-			for _, m := range models {
-				cfg := attack.DefaultNonMT(m, kind, stealthy)
-				cfg.Seed = o.Seed
-				if err := emit(sgx.NewNonMT(cfg), m.Name, 10); err != nil {
-					return nil, "", err
-				}
-			}
-		}
-		for _, m := range models {
-			if !m.HyperThreading {
-				continue
-			}
-			cfg := attack.DefaultMT(m, kind)
-			cfg.Seed = o.Seed
-			if err := emit(sgx.NewMT(cfg), m.Name, 8); err != nil {
-				return nil, "", err
-			}
-		}
 	}
 	return results, b.String(), nil
 }
@@ -431,10 +411,9 @@ func Figure8(rc RunCtx, o Opts) ([]Figure8Point, string, error) {
 			if err := rc.Step("d sweep", len(pts), 3*8); err != nil {
 				return nil, "", err
 			}
-			cfg := attack.DefaultMT(m, attack.Eviction)
-			cfg.D = d
-			cfg.Seed = o.Seed
-			res, err := channel.TransmitCtx(rc, attack.NewMT(cfg), m.Name, msg, 30)
+			cs := spec.ChannelSpec{Model: m.Name, Mechanism: spec.MechanismEviction,
+				Threading: spec.ThreadingMT, D: d, CalibBits: 30, Seed: o.Seed}
+			res, err := cs.TransmitCtx(rc, msg)
 			if err != nil {
 				return nil, "", err
 			}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/experiments"
+	"repro/internal/runctx"
+	"repro/internal/spec"
+)
+
+// ErrBadSpec reports a channel-run request whose spec or options failed
+// validation (400). The request is rejected before touching the job
+// queue or a simulation slot.
+var ErrBadSpec = errors.New("serve: invalid channel spec")
+
+// channelRunKey is the cache/singleflight identity of one channel run:
+// the spec's own versioned canonical key plus the message length. The
+// "chan-v1|" prefix keeps the namespace disjoint from the artifact
+// keys' "v1|".
+func channelRunKey(cs spec.ChannelSpec, bits int) string {
+	return fmt.Sprintf("%s|bits=%d", cs.CacheKey(), bits)
+}
+
+// ChannelRun transmits an alternating message of o.Bits bits over the
+// scenario cs describes and returns the run as a Result (Data is the
+// channel.Result, Rendered its table row). Like artifacts, channel
+// runs are pure functions of (spec, bits): results are cached forever
+// under the spec's canonical key, concurrent identical requests
+// collapse into one simulation, and the simulation competes for the
+// same job-queue and worker slots as the artifact endpoints.
+//
+// A spec that fails validation is rejected with ErrBadSpec before any
+// slot is consumed. Unset o fields fall back to the server's base
+// options — the same override semantics ?seed=/?bits= give the GET
+// endpoints — and a spec without a seed takes the resulting effective
+// seed.
+func (s *Server) ChannelRun(ctx context.Context, cs spec.ChannelSpec, o experiments.Opts) (experiments.Result, error) {
+	base := s.opts
+	if o.Bits > 0 {
+		base.Bits = o.Bits
+	}
+	if o.Seed != 0 {
+		base.Seed = o.Seed
+	}
+	if o.Samples > 0 {
+		base.Samples = o.Samples
+	}
+	o = base.Normalize()
+	if cs.Seed == 0 {
+		cs.Seed = o.Seed
+	}
+	cs = cs.Normalize()
+	if err := cs.Validate(); err != nil {
+		return experiments.Result{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if o.Bits > maxBits {
+		return experiments.Result{}, fmt.Errorf("%w: bits=%d out of range (want 1..%d)", ErrBadSpec, o.Bits, maxBits)
+	}
+	key := channelRunKey(cs, o.Bits)
+	if res, hit := s.cache.Get(key); hit {
+		s.metrics.CacheHits.Add(1)
+		return res, nil
+	}
+	res, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) (experiments.Result, error) {
+		if res, hit := s.cache.Get(key); hit {
+			s.metrics.CacheHits.Add(1)
+			return res, nil
+		}
+		if !s.admit(1) {
+			return experiments.Result{}, ErrBusy
+		}
+		defer s.release(1)
+		res, err := s.runChannel(fctx, cs, o.Bits)
+		if err != nil {
+			return experiments.Result{}, err
+		}
+		s.cache.Add(key, res)
+		return res, nil
+	})
+	if shared && err == nil {
+		s.metrics.Deduplicated.Add(1)
+	}
+	return res, err
+}
+
+// runChannel executes one channel transmission on a simulation slot.
+// Mirroring run, a cancelled transmission unwinds at its next per-bit
+// checkpoint, returns an error, and caches nothing.
+func (s *Server) runChannel(ctx context.Context, cs spec.ChannelSpec, bits int) (experiments.Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.metrics.Cancellations.Add(1)
+		return experiments.Result{}, ctx.Err()
+	}
+	s.metrics.InFlight.Add(1)
+	defer func() {
+		s.metrics.InFlight.Add(-1)
+		<-s.sem
+	}()
+	s.metrics.CacheMisses.Add(1)
+	tres, err := cs.TransmitCtx(runctx.New(ctx, nil), channel.Alternating(bits))
+	if err != nil {
+		s.metrics.Cancellations.Add(1)
+		return experiments.Result{}, err
+	}
+	return experiments.Result{
+		Name:     "channel",
+		Ref:      "ChannelSpec",
+		Desc:     cs.String(),
+		Seed:     cs.Seed,
+		Rendered: tres.String() + "\n",
+		Data:     tres,
+		// Elapsed stays zero: responses are pure functions of (spec, bits).
+	}, nil
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/spec"
+)
+
+func postChannelRun(t *testing.T, ts *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/channels/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/channels/run: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// fastSpec is a scenario cheap enough for unit tests: the fast non-MT
+// eviction channel on the HT-less machine.
+const fastSpec = `{"spec": {"model": "Xeon E-2288G", "seed": 5}, "opts": {"bits": 24}}`
+
+func TestChannelRunCachesUnderSpecKey(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code1, body1 := postChannelRun(t, ts, fastSpec)
+	if code1 != 200 {
+		t.Fatalf("first POST: status %d: %s", code1, body1)
+	}
+	// A different spelling of the same scenario: explicit defaults,
+	// lower-case model, seed via opts instead of the spec.
+	code2, body2 := postChannelRun(t, ts,
+		`{"spec": {"model": "xeon e-2288G", "mechanism": "eviction", "threading": "nonmt", "sink": "timing", "d": 6, "p": 10, "calib": 40}, "opts": {"bits": 24, "seed": 5}}`)
+	if code2 != 200 {
+		t.Fatalf("second POST: status %d: %s", code2, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("two spellings of one scenario returned different bytes:\n%s\nvs\n%s", body1, body2)
+	}
+	if misses := s.Metrics().CacheMisses.Load(); misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (second request must hit)", misses)
+	}
+	if hits := s.Metrics().CacheHits.Load(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+
+	// The served bytes match a direct spec transmission of the same
+	// scenario: the daemon adds nothing nondeterministic.
+	var res struct {
+		Rendered string         `json:"rendered"`
+		Seed     uint64         `json:"seed"`
+		Data     channel.Result `json:"data"`
+	}
+	if err := json.Unmarshal(body1, &res); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := spec.ChannelSpec{Model: "Xeon E-2288G", Seed: 5}.Transmit(channel.Alternating(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rendered != direct.String()+"\n" {
+		t.Errorf("served row %q != direct row %q", res.Rendered, direct.String())
+	}
+	if res.Data.RateKbps != direct.RateKbps || res.Data.Received != direct.Received {
+		t.Errorf("served data %+v != direct %+v", res.Data, direct)
+	}
+	if res.Seed != 5 {
+		t.Errorf("seed %d, want 5", res.Seed)
+	}
+}
+
+func TestChannelRunUsesServerBaseOpts(t *testing.T) {
+	// An empty opts object must inherit the daemon's -default-seed and
+	// -default-bits, exactly like the GET endpoints do.
+	s := NewServer(Config{Opts: experiments.Opts{Seed: 9, Bits: 16}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postChannelRun(t, ts, `{"spec": {"model": "Xeon E-2288G"}, "opts": {}}`)
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var res experiments.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 9 {
+		t.Errorf("seed %d, want the server default 9", res.Seed)
+	}
+	var data channel.Result
+	blob, _ := json.Marshal(res.Data)
+	if err := json.Unmarshal(blob, &data); err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Sent) != 16 {
+		t.Errorf("message length %d, want the server default 16", len(data.Sent))
+	}
+	// A request seed still overrides the server default.
+	code, body = postChannelRun(t, ts, `{"spec": {"model": "Xeon E-2288G"}, "opts": {"seed": 3}}`)
+	if code != 200 {
+		t.Fatalf("override status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 3 {
+		t.Errorf("seed %d, want the request override 3", res.Seed)
+	}
+}
+
+func TestChannelRunCollapsesConcurrentRequests(t *testing.T) {
+	s := NewServer(Config{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 8
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := postChannelRun(t, ts, fastSpec)
+			if code != 200 {
+				t.Errorf("POST %d: status %d: %s", i, code, body)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d returned different bytes", i)
+		}
+	}
+	if misses := s.Metrics().CacheMisses.Load(); misses != 1 {
+		t.Errorf("%d concurrent identical requests simulated %d times, want 1", n, misses)
+	}
+}
+
+func TestChannelRunRejectsInvalidSpecBeforeAdmission(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, body, want string
+	}{
+		{"malformed JSON", `{"spec": `, "bad request body"},
+		{"unknown field", `{"spec": {"mechanism": "eviction"}, "opts": {}, "wat": 1}`, "unknown field"},
+		{"MT without SMT", `{"spec": {"model": "Xeon E-2288G", "threading": "mt"}}`, "hyper-threading is disabled"},
+		{"power+SGX", `{"spec": {"model": "Xeon E-2174G", "sink": "power", "sgx": true}}`, "power+SGX"},
+		{"unknown mechanism", `{"spec": {"mechanism": "acoustic"}}`, "unknown mechanism"},
+		{"oversized bits", `{"spec": {}, "opts": {"bits": 1000000}}`, "out of range"},
+		{"oversized p", `{"spec": {"p": 100000000}}`, "out of range"},
+		{"oversized body", `{"spec": {"model": "` + strings.Repeat("x", 80<<10) + `"}}`, "bad request body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postChannelRun(t, ts, tc.body)
+			if code != 400 {
+				t.Fatalf("status %d, want 400; body: %s", code, body)
+			}
+			if !strings.Contains(string(body), tc.want) {
+				t.Errorf("body %q does not mention %q", body, tc.want)
+			}
+		})
+	}
+	// None of the rejected requests may have consumed a queue or worker
+	// slot, let alone run a simulation.
+	if misses := s.Metrics().CacheMisses.Load(); misses != 0 {
+		t.Errorf("invalid specs ran %d simulations", misses)
+	}
+	if q := s.Metrics().Queued.Load(); q != 0 {
+		t.Errorf("queue depth %d after rejections, want 0", q)
+	}
+	if errs := s.Metrics().Errors.Load(); errs != uint64(len(cases)) {
+		t.Errorf("error counter %d, want %d", errs, len(cases))
+	}
+}
+
+func TestChannelsEnumeratesServableSpace(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/v1/channels?model=Gold+6226")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var entries []struct {
+		Spec      spec.ChannelSpec `json:"spec"`
+		Canonical string           `json:"canonical"`
+	}
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(spec.Enumerate(cpu.Gold6226())); len(entries) != want {
+		t.Fatalf("%d channel entries, want %d", len(entries), want)
+	}
+	for _, e := range entries {
+		if err := e.Spec.Validate(); err != nil {
+			t.Errorf("served invalid spec %s: %v", e.Canonical, err)
+		}
+		if e.Canonical != e.Spec.String() {
+			t.Errorf("canonical mismatch: %q vs %q", e.Canonical, e.Spec.String())
+		}
+	}
+
+	if code, body := get(t, ts, "/v1/channels?model=486DX"); code != 400 {
+		t.Errorf("unknown model: status %d: %s", code, body)
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/runctx"
+	"repro/internal/spec"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -26,6 +28,14 @@ import (
 //	                                  patterns, default "all";
 //	                                  ?progress=1 interleaves progress
 //	                                  events between result lines
+//	GET /v1/channels                  the valid covert-channel scenario
+//	                                  space (canonical spec strings plus
+//	                                  structured specs); ?model= narrows
+//	                                  to one Table I model
+//	POST /v1/channels/run             run one scenario: body is
+//	                                  {"spec": {...}, "opts": {...}};
+//	                                  invalid specs fail 400 up front,
+//	                                  results cache under the spec key
 //	GET /healthz                      liveness probe (503 once the job
 //	                                  queue has been full for more than
 //	                                  one poll interval)
@@ -35,6 +45,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/artifacts", s.handleCatalog)
 	mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifact)
 	mux.HandleFunc("GET /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/channels", s.handleChannels)
+	mux.HandleFunc("POST /v1/channels/run", s.handleChannelRun)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -305,6 +317,74 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if next < len(arts) {
 		emitReady(len(arts) - 1)
 	}
+}
+
+// channelEntry is one /v1/channels row: the canonical string form
+// (directly usable as documentation or a cache-key body) plus the
+// structured spec a client can POST back.
+type channelEntry struct {
+	Spec      spec.ChannelSpec `json:"spec"`
+	Canonical string           `json:"canonical"`
+}
+
+// handleChannels enumerates the valid scenario space — the daemon's
+// servable covert-channel surface — for one model (?model=) or the
+// whole Table I catalog.
+func (s *Server) handleChannels(w http.ResponseWriter, r *http.Request) {
+	models := cpu.Models()
+	if name := r.URL.Query().Get("model"); name != "" {
+		m, err := spec.ChannelSpec{Model: name}.ResolveModel()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		models = []cpu.Model{m}
+	}
+	specs := spec.Enumerate(models...)
+	entries := make([]channelEntry, len(specs))
+	for i, cs := range specs {
+		entries[i] = channelEntry{Spec: cs, Canonical: cs.String()}
+	}
+	s.writeJSON(w, entries)
+}
+
+// channelRunRequest is the POST /v1/channels/run body. Opts follows the
+// artifact endpoints' semantics: bits scales the message, seed is the
+// fallback when the spec leaves its own seed unset, samples is ignored.
+type channelRunRequest struct {
+	Spec spec.ChannelSpec `json:"spec"`
+	Opts experiments.Opts `json:"opts"`
+}
+
+// handleChannelRun runs one declared scenario through the same cache /
+// singleflight / job-queue machinery as the artifact endpoints. A body
+// that does not parse or a spec that fails validation is a 400 before
+// any queue or worker slot is consumed.
+func (s *Server) handleChannelRun(w http.ResponseWriter, r *http.Request) {
+	// Any valid request body is tiny; bound the read so a streamed
+	// giant body cannot balloon memory before validation rejects it.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<10))
+	dec.DisallowUnknownFields()
+	var req channelRunRequest
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	res, err := s.ChannelRun(ctx, req.Spec, req.Opts)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBadSpec):
+			s.fail(w, http.StatusBadRequest, err)
+		case errors.Is(err, context.Canceled) && r.Context().Err() == nil:
+			s.fail(w, http.StatusServiceUnavailable, errors.New("run cancelled (server shutting down)"))
+		default:
+			s.failErr(w, err)
+		}
+		return
+	}
+	s.writeJSON(w, res)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -135,9 +135,13 @@ type MTChannel struct {
 	sender []*isa.Block
 }
 
-// NewMT builds the MT SGX variant.
+// NewMT builds the MT SGX variant. A non-positive Measurements count
+// takes the paper default, like attack.DefaultMT's.
 func NewMT(cfg attack.MTConfig) *MTChannel {
 	requireSGX(cfg.Model)
+	if cfg.Measurements <= 0 {
+		cfg.Measurements = MTMeasurements
+	}
 	inner := attack.NewMT(cfg)
 	return &MTChannel{
 		cfg:    cfg,
@@ -174,8 +178,8 @@ func (c *MTChannel) SendBit(m byte) float64 {
 	// signal concentrates in the passes right after the enclave starts
 	// executing, and long passes would dilute it.
 	const iters = 10
-	meas := make([]float64, 0, MTMeasurements)
-	for i := 0; i < MTMeasurements; i++ {
+	meas := make([]float64, 0, c.cfg.Measurements)
+	for i := 0; i < c.cfg.Measurements; i++ {
 		c.core.MeasureEnqueue(0, isa.NewLoopStream(c.recv, iters), func(v float64) {
 			meas = append(meas, v)
 		})

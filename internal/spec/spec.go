@@ -1,0 +1,465 @@
+// Package spec defines ChannelSpec, a declarative description of one
+// covert-channel scenario from the paper's combinatorial attack space:
+// mechanism (eviction / misalignment / LCP slow-switch) x threading
+// (non-MT / MT) x sink (timing / power) x enclave (SGX or not) x
+// stealthiness x protocol parameters (d, M, p) x CPU model.
+//
+// The paper's seven named channels are seven points in this space; a
+// ChannelSpec can name any valid point. Specs are plain data — JSON- and
+// flag-encodable — with a canonical string form, so any client can
+// enumerate the space (Enumerate), request a scenario over HTTP, and
+// get the run deterministically cached under the spec's CacheKey.
+//
+// The lifecycle is Normalize -> Validate -> Build: Normalize fills
+// defaults so equal scenarios compare equal, Validate rejects the
+// impossible combinations (MT on an SMT-disabled model, power+SGX,
+// anything but plain non-MT timing for slow-switch), and Build
+// constructs the simulated channel exactly as the historical
+// constructors did — a spec-built channel transmits byte-identically to
+// its constructor-built twin.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/channel"
+	"repro/internal/cmdutil"
+	"repro/internal/cpu"
+	"repro/internal/runctx"
+	"repro/internal/sgx"
+)
+
+// Mechanism is the frontend mechanism a channel modulates.
+type Mechanism string
+
+// Mechanisms.
+const (
+	// MechanismEviction forces DSB set collisions (Section IV-F).
+	MechanismEviction Mechanism = "eviction"
+	// MechanismMisalignment forces LSD collisions through half-window
+	// offset blocks (Section IV-G).
+	MechanismMisalignment Mechanism = "misalignment"
+	// MechanismSlowSwitch modulates the LCP pre-decode stall and
+	// path-switch penalty (Section V-E).
+	MechanismSlowSwitch Mechanism = "slowswitch"
+)
+
+// Threading places sender and receiver on one hardware thread (non-MT)
+// or on the two sibling threads of an SMT core (MT).
+type Threading string
+
+// Threading values.
+const (
+	ThreadingNonMT Threading = "nonmt"
+	ThreadingMT    Threading = "mt"
+)
+
+// Sink is the receiver's measurement surface.
+type Sink string
+
+// Sinks.
+const (
+	// SinkTiming times with rdtscp (Sections V, VI).
+	SinkTiming Sink = "timing"
+	// SinkPower reads Intel RAPL (Section VII).
+	SinkPower Sink = "power"
+)
+
+// DefaultCalibBits is the calibration-preamble length Transmit has
+// always used; a zero CalibBits normalizes to it.
+const DefaultCalibBits = 40
+
+// Validation caps — generous multiples of the paper's largest settings.
+// They exist because the simulator budgets cycles per protocol step
+// (cpu.Core.RunUntilIdle panics past its budget): a spec beyond these
+// bounds would crash the run rather than measure anything, so Validate
+// rejects it up front — which also keeps one HTTP request from taking
+// the serving daemon down.
+const (
+	// MaxCalibBits bounds the calibration preamble, mirroring the
+	// daemon's message-length cap.
+	MaxCalibBits = 2000
+	// maxIterP bounds p for the iteration-count channels (non-MT
+	// timing, SGX non-MT, slow-switch; paper max 5000).
+	maxIterP = 100_000
+	// maxMeasureP bounds p for the MT channels' decode passes (paper
+	// uses 10).
+	maxMeasureP = 10_000
+	// maxPowerP bounds the power sink's per-bit iterations (paper uses
+	// 240,000).
+	maxPowerP = 1_000_000
+)
+
+// ChannelSpec declares one covert-channel scenario. The zero value
+// normalizes to the paper's fastest configuration — the non-MT fast
+// eviction timing channel on the Gold 6226 — and every unset field
+// takes the paper default for the selected mechanism, so a spec only
+// states what deviates.
+type ChannelSpec struct {
+	// Model is the Table I model name, matched case-insensitively;
+	// empty means "Gold 6226". Build ignores it (the model is passed
+	// in), so a spec can also be built against defended or otherwise
+	// modified models.
+	Model string `json:"model,omitempty"`
+	// Mechanism defaults to eviction.
+	Mechanism Mechanism `json:"mechanism,omitempty"`
+	// Threading defaults to nonmt.
+	Threading Threading `json:"threading,omitempty"`
+	// Sink defaults to timing.
+	Sink Sink `json:"sink,omitempty"`
+	// SGX puts the sender inside an enclave (Section VIII).
+	SGX bool `json:"sgx,omitempty"`
+	// Stealthy selects the non-MT bit-0 encoding that still executes
+	// blocks instead of doing nothing (Section V-C).
+	Stealthy bool `json:"stealthy,omitempty"`
+	// Contended makes the MT eviction sender spin delivery-hungry
+	// between steps, the protocol the paper's Table II d=1 rows need.
+	Contended bool `json:"contended,omitempty"`
+	// D is the receiver way count d; 0 means the mechanism default
+	// (6 eviction, 5 misalignment).
+	D int `json:"d,omitempty"`
+	// M is the misalignment variant's total way count; 0 means 8.
+	M int `json:"m,omitempty"`
+	// P is the per-bit repetition parameter; its exact meaning follows
+	// the mechanism, matching the knob each paper protocol exposes:
+	// loop iterations for non-MT timing (p = q = 10; raised to 1000
+	// inside SGX), timed decode passes for MT (10), and per-bit loop
+	// iterations for the power sink (120,000). 0 means that default.
+	P int `json:"p,omitempty"`
+	// CalibBits is the Transmit calibration-preamble length; 0 means
+	// DefaultCalibBits.
+	CalibBits int `json:"calib,omitempty"`
+	// Seed seeds the channel's deterministic randomness; 0 means 1.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// kind maps the mechanism onto the attack-layer kind; slow-switch has
+// no kind (its Build path never asks).
+func (s ChannelSpec) kind() attack.Kind {
+	if s.Mechanism == MechanismMisalignment {
+		return attack.Misalignment
+	}
+	return attack.Eviction
+}
+
+// Normalize returns the spec with every unset field replaced by its
+// default, so any two specs describing the same scenario compare equal
+// and share one canonical encoding. The model name is canonicalized to
+// its Table I spelling when it resolves; an unresolvable name is kept
+// verbatim for Validate to report.
+func (s ChannelSpec) Normalize() ChannelSpec {
+	if s.Model == "" {
+		s.Model = cpu.Gold6226().Name
+	} else if m, err := cmdutil.ResolveModel(s.Model); err == nil {
+		s.Model = m.Name
+	}
+	if s.Mechanism == "" {
+		s.Mechanism = MechanismEviction
+	}
+	if s.Threading == "" {
+		s.Threading = ThreadingNonMT
+	}
+	if s.Sink == "" {
+		s.Sink = SinkTiming
+	}
+	if s.Mechanism != MechanismSlowSwitch {
+		if s.D == 0 {
+			if s.Mechanism == MechanismMisalignment {
+				s.D = attack.DefaultMisalignD
+			} else {
+				s.D = attack.DefaultD
+			}
+		}
+		if s.M == 0 && s.Mechanism == MechanismMisalignment {
+			s.M = attack.DefaultM
+		}
+	}
+	if s.P == 0 {
+		switch {
+		case s.Sink == SinkPower:
+			s.P = attack.DefaultPowerIters
+		case s.Threading == ThreadingMT:
+			s.P = attack.DefaultMeasurements
+		case s.SGX:
+			// The SGX layer raises any smaller p to its floor anyway
+			// (Section VIII); normalizing to the floor keeps the
+			// canonical encoding honest about what runs.
+			s.P = sgx.NonMTIters
+		default:
+			s.P = attack.DefaultP
+		}
+	}
+	if s.CalibBits == 0 {
+		s.CalibBits = DefaultCalibBits
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// ResolveModel resolves the spec's model name against the Table I
+// catalog (case-insensitively, via the shared cmdutil lookup). The
+// error lists the valid names.
+func (s ChannelSpec) ResolveModel() (cpu.Model, error) {
+	s = s.Normalize()
+	m, err := cmdutil.ResolveModel(s.Model)
+	if err != nil {
+		return cpu.Model{}, fmt.Errorf("spec: %v", err)
+	}
+	return m, nil
+}
+
+// Validate resolves the spec's model and checks the scenario against
+// it; a nil error means Build will succeed. The daemon calls this
+// before admitting a request, so impossible scenarios fail fast
+// without consuming a simulation slot.
+func (s ChannelSpec) Validate() error {
+	m, err := s.ResolveModel()
+	if err != nil {
+		return err
+	}
+	return s.ValidateFor(m)
+}
+
+// ValidateFor checks the scenario against an explicit model — possibly
+// a defended or otherwise modified one — ignoring the spec's Model
+// name. It rejects every impossible combination: unknown enum values,
+// MT on an SMT-disabled model, an enclave sender on a model without
+// SGX, the power sink behind SGX or across hyper-threads, any
+// slow-switch variant beyond plain non-MT timing, and out-of-range
+// protocol parameters.
+func (s ChannelSpec) ValidateFor(m cpu.Model) error {
+	s = s.Normalize()
+	switch s.Mechanism {
+	case MechanismEviction, MechanismMisalignment, MechanismSlowSwitch:
+	default:
+		return fmt.Errorf("spec: unknown mechanism %q (eviction|misalignment|slowswitch)", s.Mechanism)
+	}
+	switch s.Threading {
+	case ThreadingNonMT, ThreadingMT:
+	default:
+		return fmt.Errorf("spec: unknown threading %q (nonmt|mt)", s.Threading)
+	}
+	switch s.Sink {
+	case SinkTiming, SinkPower:
+	default:
+		return fmt.Errorf("spec: unknown sink %q (timing|power)", s.Sink)
+	}
+	maxP := maxIterP
+	switch {
+	case s.Sink == SinkPower:
+		maxP = maxPowerP
+	case s.Threading == ThreadingMT:
+		maxP = maxMeasureP
+	}
+	if s.P < 1 || s.P > maxP {
+		return fmt.Errorf("spec: p=%d out of range (want 1..%d for this scenario)", s.P, maxP)
+	}
+	if s.CalibBits < 2 || s.CalibBits > MaxCalibBits {
+		return fmt.Errorf("spec: calib=%d out of range (want 2..%d)", s.CalibBits, MaxCalibBits)
+	}
+	if s.Mechanism == MechanismSlowSwitch {
+		// The slow-switch channel leaks through issue-pattern timing of
+		// one thread's own code; it has no way count, no cross-thread
+		// variant, no power receiver, and no stealthy encoding.
+		switch {
+		case s.Threading != ThreadingNonMT:
+			return fmt.Errorf("spec: slowswitch is non-MT only (Section V-E)")
+		case s.Sink != SinkTiming:
+			return fmt.Errorf("spec: slowswitch has no power variant (Section V-E)")
+		case s.SGX:
+			return fmt.Errorf("spec: slowswitch has no SGX variant (Section V-E)")
+		case s.Stealthy:
+			return fmt.Errorf("spec: slowswitch has no stealthy variant (both bits execute the same block count)")
+		case s.Contended:
+			return fmt.Errorf("spec: contended applies only to the MT eviction protocol")
+		case s.D != 0 || s.M != 0:
+			return fmt.Errorf("spec: slowswitch takes no d/m way counts")
+		}
+		return nil
+	}
+	if s.D < 1 || s.D > attack.DSBWays {
+		return fmt.Errorf("spec: d=%d out of range (want 1..%d)", s.D, attack.DSBWays)
+	}
+	if s.Mechanism == MechanismMisalignment {
+		if s.M > attack.DSBWays {
+			return fmt.Errorf("spec: m=%d out of range (want <= %d)", s.M, attack.DSBWays)
+		}
+		if s.M <= s.D {
+			return fmt.Errorf("spec: misalignment needs m > d (m-d sender blocks); got d=%d m=%d", s.D, s.M)
+		}
+	} else if s.M != 0 {
+		return fmt.Errorf("spec: m applies only to the misalignment mechanism")
+	}
+	if s.SGX && s.Threading == ThreadingNonMT && s.P < sgx.NonMTIters {
+		// The enclave layer would silently raise a smaller p to its
+		// floor; rejecting instead keeps the canonical encoding equal to
+		// what actually runs.
+		return fmt.Errorf("spec: SGX non-MT needs p >= %d (Section VIII); got p=%d", sgx.NonMTIters, s.P)
+	}
+	if s.Sink == SinkPower {
+		// The paper's power receiver polls RAPL from the sender's own
+		// thread, outside any enclave (Section VII).
+		switch {
+		case s.Threading != ThreadingNonMT:
+			return fmt.Errorf("spec: the power sink is non-MT only (Section VII)")
+		case s.SGX:
+			return fmt.Errorf("spec: power+SGX is impossible — RAPL is not readable from inside an enclave (Section VII)")
+		case s.Stealthy:
+			return fmt.Errorf("spec: the power channel's bit-0 already executes decoy blocks; stealthy does not apply")
+		case s.Contended:
+			return fmt.Errorf("spec: contended applies only to the MT eviction protocol")
+		}
+		return nil
+	}
+	if s.Threading == ThreadingMT {
+		if !m.HyperThreading {
+			return fmt.Errorf("spec: MT on %s is impossible — hyper-threading is disabled (Table I)", m.Name)
+		}
+		if s.Stealthy {
+			return fmt.Errorf("spec: the MT channels have no stealthy variant (the sender idles on bit 0)")
+		}
+		if s.Contended && s.Mechanism != MechanismEviction {
+			return fmt.Errorf("spec: contended applies only to the MT eviction protocol")
+		}
+	} else if s.Contended {
+		return fmt.Errorf("spec: contended applies only to the MT eviction protocol")
+	}
+	if s.SGX && !m.SGX {
+		return fmt.Errorf("spec: %s has no SGX support (Table I)", m.Name)
+	}
+	return nil
+}
+
+// Build constructs the simulated channel for this scenario on m,
+// ignoring the spec's Model name. It starts from the same Default*
+// configurations the historical constructors used and overrides only
+// what the spec sets, so a default spec builds a channel that transmits
+// byte-identically to its constructor twin. Build panics on a spec
+// ValidateFor rejects — matching the historical constructors' contract
+// — so callers taking untrusted specs must Validate first.
+func (s ChannelSpec) Build(m cpu.Model) channel.BitChannel {
+	if err := s.ValidateFor(m); err != nil {
+		panic(err.Error())
+	}
+	s = s.Normalize()
+	switch {
+	case s.Mechanism == MechanismSlowSwitch:
+		cfg := attack.DefaultSlowSwitch(m)
+		cfg.P = s.P
+		cfg.Seed = s.Seed
+		return attack.NewSlowSwitch(cfg)
+	case s.Sink == SinkPower:
+		cfg := attack.DefaultPower(m, s.kind())
+		cfg.D, cfg.M = s.D, s.M
+		cfg.Iters = s.P
+		cfg.Seed = s.Seed
+		return attack.NewPower(cfg)
+	case s.Threading == ThreadingMT:
+		cfg := attack.DefaultMT(m, s.kind())
+		cfg.D, cfg.M = s.D, s.M
+		cfg.Measurements = s.P
+		cfg.ContendedSender = s.Contended
+		cfg.Seed = s.Seed
+		if s.SGX {
+			return sgx.NewMT(cfg)
+		}
+		return attack.NewMT(cfg)
+	default:
+		cfg := attack.DefaultNonMT(m, s.kind(), s.Stealthy)
+		cfg.D, cfg.M = s.D, s.M
+		cfg.P = s.P
+		cfg.Seed = s.Seed
+		if s.SGX {
+			return sgx.NewNonMT(cfg)
+		}
+		return attack.NewNonMT(cfg)
+	}
+}
+
+// String returns the canonical encoding: the normalized fields in a
+// fixed order, so every spelling of one scenario renders one string.
+// It is the flag-friendly inverse of the JSON form and the body of
+// CacheKey.
+func (s ChannelSpec) String() string {
+	s = s.Normalize()
+	return fmt.Sprintf("model=%s,mech=%s,thread=%s,sink=%s,sgx=%t,stealthy=%t,contended=%t,d=%d,m=%d,p=%d,calib=%d,seed=%d",
+		s.Model, s.Mechanism, s.Threading, s.Sink, s.SGX, s.Stealthy, s.Contended, s.D, s.M, s.P, s.CalibBits, s.Seed)
+}
+
+// CacheKey returns the versioned canonical key for this scenario.
+// Specs are normalized first, so every spelling of one scenario maps to
+// one entry; channels are pure functions of their spec, so equal keys
+// imply bit-identical transmissions. Bump the version prefix whenever a
+// field's meaning changes.
+func (s ChannelSpec) CacheKey() string {
+	return "chan-v1|" + s.String()
+}
+
+// Transmit resolves the spec's model, builds the channel, and sends
+// message (a '0'/'1' string) through it, calibrating on the spec's
+// preamble length. It fails instead of panicking on an invalid spec.
+func (s ChannelSpec) Transmit(message string) (channel.Result, error) {
+	return s.TransmitCtx(runctx.Background(), message)
+}
+
+// TransmitCtx is Transmit under a run context: the transmission
+// checkpoints per bit and unwinds when rc is cancelled.
+func (s ChannelSpec) TransmitCtx(rc runctx.Ctx, message string) (channel.Result, error) {
+	m, err := s.ResolveModel()
+	if err != nil {
+		return channel.Result{}, err
+	}
+	if err := s.ValidateFor(m); err != nil {
+		return channel.Result{}, err
+	}
+	s = s.Normalize()
+	return channel.TransmitCtx(rc, s.Build(m), m.Name, message, s.CalibBits)
+}
+
+// Enumerate yields every valid scenario for the given models at the
+// paper-default protocol parameters, in canonical order: mechanism,
+// then threading, then sink, then plain-before-SGX, then
+// stealthy-before-fast, then model — the row order of the paper's
+// channel tables. Every returned spec is normalized and valid for its
+// model.
+func Enumerate(models ...cpu.Model) []ChannelSpec {
+	var specs []ChannelSpec
+	for _, mech := range []Mechanism{MechanismEviction, MechanismMisalignment, MechanismSlowSwitch} {
+		for _, thread := range []Threading{ThreadingNonMT, ThreadingMT} {
+			for _, sink := range []Sink{SinkTiming, SinkPower} {
+				for _, sgxOn := range []bool{false, true} {
+					for _, stealthy := range []bool{true, false} {
+						for _, m := range models {
+							s := ChannelSpec{
+								Model:     m.Name,
+								Mechanism: mech,
+								Threading: thread,
+								Sink:      sink,
+								SGX:       sgxOn,
+								Stealthy:  stealthy,
+							}.Normalize()
+							if s.ValidateFor(m) == nil {
+								specs = append(specs, s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// Filter returns the specs keep accepts, preserving order.
+func Filter(specs []ChannelSpec, keep func(ChannelSpec) bool) []ChannelSpec {
+	var out []ChannelSpec
+	for _, s := range specs {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -20,6 +20,7 @@ package leaky
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"time"
 
@@ -31,7 +32,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/runctx"
 	"repro/internal/serve"
-	"repro/internal/sgx"
+	"repro/internal/spec"
 	"repro/internal/spectre"
 	"repro/internal/ucode"
 	"repro/internal/victim"
@@ -75,48 +76,116 @@ type Result = channel.Result
 
 // Transmit sends a bit-string message over a channel and reports the
 // transmission and error rates, calibrating the decode threshold on an
-// alternating preamble first.
+// alternating preamble of DefaultCalibBits bits first. For a different
+// preamble length, transmit through the spec instead —
+// ChannelSpec{CalibBits: n, ...}.Transmit(message) — since a built
+// Channel carries no calibration setting of its own.
 func Transmit(ch Channel, modelName, message string) Result {
-	return channel.Transmit(ch, modelName, message, 40)
+	return channel.Transmit(ch, modelName, message, DefaultCalibBits)
+}
+
+// ChannelSpec is a declarative, JSON/flag-encodable description of one
+// covert-channel scenario in the paper's full attack space — mechanism
+// x threading x sink x SGX x stealthiness x protocol parameters (d, M,
+// p) x model. Validate it, Build it against a Model, Transmit through
+// it, or Enumerate the whole valid space; its CacheKey is the
+// scenario's identity for the serving daemon. The zero value describes
+// the paper's fastest configuration.
+type ChannelSpec = spec.ChannelSpec
+
+// Mechanism selects the frontend mechanism a spec'd channel modulates.
+type Mechanism = spec.Mechanism
+
+// Threading selects the spec's sender/receiver thread placement.
+type Threading = spec.Threading
+
+// ChannelSink selects the spec's measurement surface.
+type ChannelSink = spec.Sink
+
+// ChannelSpec field values.
+const (
+	MechanismEviction     = spec.MechanismEviction
+	MechanismMisalignment = spec.MechanismMisalignment
+	MechanismSlowSwitch   = spec.MechanismSlowSwitch
+	ThreadingNonMT        = spec.ThreadingNonMT
+	ThreadingMT           = spec.ThreadingMT
+	SinkTiming            = spec.SinkTiming
+	SinkPower             = spec.SinkPower
+	// DefaultCalibBits is the Transmit calibration-preamble length a
+	// zero ChannelSpec.CalibBits normalizes to.
+	DefaultCalibBits = spec.DefaultCalibBits
+)
+
+// EnumerateSpecs returns every valid covert-channel scenario for the
+// model at the paper-default protocol parameters, in the canonical
+// order (the row order of the paper's channel tables).
+func EnumerateSpecs(m Model) []ChannelSpec { return spec.Enumerate(m) }
+
+// AllChannelSpecs enumerates the valid scenario space across the whole
+// Table I catalog.
+func AllChannelSpecs() []ChannelSpec { return spec.Enumerate(cpu.Models()...) }
+
+// mechanismFor maps the legacy constructor kind onto a spec mechanism.
+func mechanismFor(kind AttackKind) Mechanism {
+	if kind == Misalignment {
+		return MechanismMisalignment
+	}
+	return MechanismEviction
 }
 
 // NewFastCovertChannel builds the paper's fastest configuration: the
 // non-MT "fast" channel (bit 0 sends nothing) for the given mechanism.
+//
+// Deprecated: the seven New*Channel constructors are frozen points in
+// the scenario space; build any point with ChannelSpec{...}.Build(m).
+// They remain as one-line shims for one release.
 func NewFastCovertChannel(m Model, kind AttackKind) Channel {
-	return attack.NewNonMT(attack.DefaultNonMT(m, kind, false))
+	return ChannelSpec{Mechanism: mechanismFor(kind)}.Build(m)
 }
 
 // NewStealthyCovertChannel builds the non-MT "stealthy" variant (bit 0
 // executes decoy blocks).
+//
+// Deprecated: use ChannelSpec{Mechanism: ..., Stealthy: true}.Build(m).
 func NewStealthyCovertChannel(m Model, kind AttackKind) Channel {
-	return attack.NewNonMT(attack.DefaultNonMT(m, kind, true))
+	return ChannelSpec{Mechanism: mechanismFor(kind), Stealthy: true}.Build(m)
 }
 
 // NewMTCovertChannel builds the cross-hyper-thread channel. It panics if
 // the model has hyper-threading disabled.
+//
+// Deprecated: use ChannelSpec{Mechanism: ..., Threading: ThreadingMT}.Build(m).
 func NewMTCovertChannel(m Model, kind AttackKind) Channel {
-	return attack.NewMT(attack.DefaultMT(m, kind))
+	return ChannelSpec{Mechanism: mechanismFor(kind), Threading: ThreadingMT}.Build(m)
 }
 
 // NewSlowSwitchChannel builds the LCP slow-switch channel.
+//
+// Deprecated: use ChannelSpec{Mechanism: MechanismSlowSwitch}.Build(m).
 func NewSlowSwitchChannel(m Model) Channel {
-	return attack.NewSlowSwitch(attack.DefaultSlowSwitch(m))
+	return ChannelSpec{Mechanism: MechanismSlowSwitch}.Build(m)
 }
 
 // NewPowerChannel builds the RAPL power covert channel.
+//
+// Deprecated: use ChannelSpec{Mechanism: ..., Sink: SinkPower}.Build(m).
 func NewPowerChannel(m Model, kind AttackKind) Channel {
-	return attack.NewPower(attack.DefaultPower(m, kind))
+	return ChannelSpec{Mechanism: mechanismFor(kind), Sink: SinkPower}.Build(m)
 }
 
 // NewSGXChannel builds the non-MT SGX covert channel (sender inside an
 // enclave). It panics if the model lacks SGX.
+//
+// Deprecated: use ChannelSpec{Mechanism: ..., SGX: true, Stealthy: ...}.Build(m).
 func NewSGXChannel(m Model, kind AttackKind, stealthy bool) Channel {
-	return sgx.NewNonMT(attack.DefaultNonMT(m, kind, stealthy))
+	return ChannelSpec{Mechanism: mechanismFor(kind), SGX: true, Stealthy: stealthy}.Build(m)
 }
 
 // NewSGXMTChannel builds the MT SGX covert channel.
+//
+// Deprecated: use ChannelSpec{Mechanism: ..., Threading: ThreadingMT, SGX: true}.Build(m).
 func NewSGXMTChannel(m Model, kind AttackKind) Channel {
-	return sgx.NewMT(attack.DefaultMT(m, kind))
+	return ChannelSpec{Mechanism: mechanismFor(kind), Threading: ThreadingMT, SGX: true}.Build(m)
 }
 
 // Alternating, AllZeros, AllOnes build test messages.
@@ -158,9 +227,19 @@ const (
 )
 
 // DetectMicrocode fingerprints the running patch through frontend
-// timing.
-func DetectMicrocode(m Model, actual MicrocodePatch) MicrocodePatch {
-	return ucode.DetectByTiming(m, actual, 1)
+// timing. Seed 0 means the default seed 1, so sweeps over seeds are
+// reproducible instead of pinned to one buried constant.
+func DetectMicrocode(m Model, actual MicrocodePatch, seed uint64) MicrocodePatch {
+	return ucode.DetectByTiming(m, actual, defaultSeed(seed))
+}
+
+// defaultSeed maps the "unset" seed 0 to the repository-wide default 1,
+// the same convention ExperimentOpts.Normalize uses.
+func defaultSeed(seed uint64) uint64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
 }
 
 // Workload is a fingerprintable victim workload.
@@ -200,15 +279,15 @@ var (
 
 // DefenseResidualError re-runs the stealthy eviction channel against a
 // (possibly defended) model and returns the residual error rate; ~0.5
-// means the channel is closed.
-func DefenseResidualError(m Model, bits int) float64 {
-	return defense.NonMTResidualError(m, bits, 1)
+// means the channel is closed. Seed 0 means the default seed 1.
+func DefenseResidualError(m Model, bits int, seed uint64) float64 {
+	return defense.NonMTResidualError(m, bits, defaultSeed(seed))
 }
 
 // DefenseCost returns the relative slowdown of a defended model on a
-// DSB-friendly workload.
-func DefenseCost(base, defended Model) float64 {
-	return defense.PerformanceCost(base, defended, 1)
+// DSB-friendly workload. Seed 0 means the default seed 1.
+func DefenseCost(base, defended Model, seed uint64) float64 {
+	return defense.PerformanceCost(base, defended, defaultSeed(seed))
 }
 
 // ExperimentOpts scales the paper-reproduction experiments.
@@ -271,15 +350,48 @@ type ServeConfig = serve.Config
 func NewServer(cfg ServeConfig) *Server { return serve.NewServer(cfg) }
 
 // Serve runs the artifact daemon on addr until the listener fails; see
-// cmd/leakyfed for a version with graceful shutdown and flags.
+// cmd/leakyfed for a version with flags. It delegates to ServeCtx with
+// a background context, so it never shuts down gracefully — callers
+// that need draining pass their own context to ServeCtx.
 func Serve(addr string, cfg ServeConfig) error {
+	return ServeCtx(context.Background(), addr, cfg)
+}
+
+// ServeCtx runs the artifact daemon on addr until ctx is cancelled or
+// the listener fails. Cancellation shuts the daemon down gracefully:
+// every in-flight simulation is cancelled through Server.Close (each
+// unwinds at its next cooperative checkpoint), then the HTTP server
+// drains its connections, bounded by a 10s grace period. A graceful
+// shutdown returns nil.
+func ServeCtx(ctx context.Context, addr string, cfg ServeConfig) error {
+	srv := serve.NewServer(cfg)
 	hs := &http.Server{
 		Addr:              addr,
-		Handler:           serve.NewServer(cfg).Handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return hs.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	// Cancel in-flight simulations first so draining is not stuck
+	// behind runs nobody will be around to read, then drain.
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := hs.Shutdown(shutdownCtx)
+	// Shutdown makes ListenAndServe return, so errc is owed a value. If
+	// the listener had already failed when the cancellation raced in,
+	// that failure — not a clean shutdown — is the story.
+	if lerr := <-errc; lerr != nil && !errors.Is(lerr, http.ErrServerClosed) {
+		return lerr
+	}
+	return err
 }
 
 // runArtifact dispatches one named artifact through the registry with the

@@ -1,8 +1,14 @@
 package leaky_test
 
 import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	leaky "repro"
 )
@@ -40,11 +46,163 @@ func TestFacadeSpectre(t *testing.T) {
 
 func TestFacadeMicrocode(t *testing.T) {
 	m := leaky.Gold6226()
-	if leaky.DetectMicrocode(m, leaky.Patch1) != leaky.Patch1 {
+	if leaky.DetectMicrocode(m, leaky.Patch1, 0) != leaky.Patch1 {
 		t.Error("patch1 not detected")
 	}
-	if leaky.DetectMicrocode(m, leaky.Patch2) != leaky.Patch2 {
+	if leaky.DetectMicrocode(m, leaky.Patch2, 4) != leaky.Patch2 {
 		t.Error("patch2 not detected")
+	}
+}
+
+// TestFacadeSpecEquivalence asserts the deprecated constructors and
+// their ChannelSpec twins transmit byte-identically through the public
+// API. The power constructor's twin is proven in internal/spec at
+// reduced iteration scale (its default 120k iterations/bit are too slow
+// for this tier); the complete per-config proof lives there too.
+func TestFacadeSpecEquivalence(t *testing.T) {
+	ht := leaky.XeonE2174G()
+	plain := leaky.XeonE2288G()
+	cases := []struct {
+		name  string
+		model leaky.Model
+		ctor  func() leaky.Channel
+		spec  leaky.ChannelSpec
+	}{
+		{"fast", plain,
+			func() leaky.Channel { return leaky.NewFastCovertChannel(plain, leaky.Eviction) },
+			leaky.ChannelSpec{Mechanism: leaky.MechanismEviction}},
+		{"stealthy", plain,
+			func() leaky.Channel { return leaky.NewStealthyCovertChannel(plain, leaky.Misalignment) },
+			leaky.ChannelSpec{Mechanism: leaky.MechanismMisalignment, Stealthy: true}},
+		{"mt", ht,
+			func() leaky.Channel { return leaky.NewMTCovertChannel(ht, leaky.Eviction) },
+			leaky.ChannelSpec{Mechanism: leaky.MechanismEviction, Threading: leaky.ThreadingMT}},
+		{"slowswitch", plain,
+			func() leaky.Channel { return leaky.NewSlowSwitchChannel(plain) },
+			leaky.ChannelSpec{Mechanism: leaky.MechanismSlowSwitch}},
+		{"sgx", ht,
+			func() leaky.Channel { return leaky.NewSGXChannel(ht, leaky.Eviction, true) },
+			leaky.ChannelSpec{Mechanism: leaky.MechanismEviction, SGX: true, Stealthy: true}},
+		{"sgxmt", ht,
+			func() leaky.Channel { return leaky.NewSGXMTChannel(ht, leaky.Misalignment) },
+			leaky.ChannelSpec{Mechanism: leaky.MechanismMisalignment, Threading: leaky.ThreadingMT, SGX: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := leaky.Alternating(24)
+			want := leaky.Transmit(tc.ctor(), tc.model.Name, msg)
+			got := leaky.Transmit(tc.spec.Build(tc.model), tc.model.Name, msg)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("spec twin diverges:\nctor: %#v\nspec: %#v", want, got)
+			}
+		})
+	}
+}
+
+func TestFacadeEnumerateSpecs(t *testing.T) {
+	for _, m := range leaky.Models() {
+		for _, s := range leaky.EnumerateSpecs(m) {
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s: enumerated spec invalid: %v", m.Name, err)
+			}
+		}
+	}
+	if n := len(leaky.AllChannelSpecs()); n < 40 {
+		t.Errorf("scenario space has %d specs, expected the full catalog's", n)
+	}
+}
+
+// TestFacadeDefenseAblations exercises the Section XII countermeasures
+// through the public API alone: each defense must close its channel
+// (residual error near the 0.5 coin-flip) and EqualizePaths must cost
+// throughput.
+func TestFacadeDefenseAblations(t *testing.T) {
+	bits := 100
+	if testing.Short() {
+		bits = 40
+	}
+	base := leaky.XeonE2288G() // cleanest machine: strongest baseline channel
+	if baseErr := leaky.DefenseResidualError(base, bits, 1); baseErr > 0.1 {
+		t.Fatalf("baseline stealthy eviction error %.2f; channel broken before any defense", baseErr)
+	}
+
+	cases := []struct {
+		name     string
+		residual func() float64
+	}{
+		{"EqualizePaths closes the timing channel", func() float64 {
+			return leaky.DefenseResidualError(leaky.EqualizePaths(base), bits, 1)
+		}},
+		{"DisableRAPL closes the power channel", func() float64 {
+			m := leaky.DisableRAPL(leaky.Gold6226())
+			ch := leaky.ChannelSpec{Sink: leaky.SinkPower, P: 3000, Seed: 1}.Build(m)
+			return leaky.Transmit(ch, m.Name, leaky.Alternating(16)).ErrorRate
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.residual(); err < 0.25 {
+				t.Errorf("residual error %.2f; a closed channel should approach the 0.5 coin-flip", err)
+			} else {
+				t.Logf("residual error %.2f", err)
+			}
+		})
+	}
+
+	t.Run("DisableSMT forbids MT specs", func(t *testing.T) {
+		m := leaky.DisableSMT(leaky.Gold6226())
+		err := leaky.ChannelSpec{Threading: leaky.ThreadingMT}.ValidateFor(m)
+		if err == nil {
+			t.Error("MT spec validated against an SMT-disabled model")
+		}
+	})
+
+	t.Run("EqualizePaths costs throughput", func(t *testing.T) {
+		cost := leaky.DefenseCost(leaky.Gold6226(), leaky.EqualizePaths(leaky.Gold6226()), 2)
+		if cost <= 1.0 {
+			t.Errorf("defense cost %.2fx; equalizing paths should not be free", cost)
+		} else {
+			t.Logf("slowdown %.2fx", cost)
+		}
+	})
+}
+
+func TestServeCtxShutsDownGracefully(t *testing.T) {
+	// Reserve a port, release it, and serve on it: small race, but the
+	// retry loop below tolerates a slow start.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- leaky.ServeCtx(ctx, addr, leaky.ServeConfig{}) }()
+
+	healthy := false
+	for i := 0; i < 50 && !healthy; i++ {
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+		if err == nil {
+			resp.Body.Close()
+			healthy = resp.StatusCode == 200
+		} else {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if !healthy {
+		cancel()
+		t.Fatalf("daemon on %s never became healthy", addr)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("ServeCtx did not return after cancellation")
 	}
 }
 
