@@ -21,10 +21,15 @@
 //	GET /v1/artifacts                 catalog
 //	GET /v1/artifacts/{name}          one result (?format=json|text, ?seed=, ?bits=, ?samples=)
 //	GET /v1/run?sel=table*            NDJSON stream in catalog order (?progress=1 interleaves progress events)
-//	GET /v1/channels                  the valid covert-channel scenario space (?model= narrows)
+//	GET /v1/channels                  the valid covert-channel scenario space (?filter= narrows
+//	                                  with the sweep grammar; ?model= remains as an alias)
 //	POST /v1/channels/run             run one declared scenario: {"spec": {...}, "opts": {...}};
 //	                                  invalid specs fail 400 before consuming a slot, results
 //	                                  cache forever under the spec's canonical key
+//	POST /v1/sweeps                   run a whole shard of the space: {"filter": "...", "opts":
+//	                                  {...}, "calib": n, "maxp": n}; NDJSON per-spec rows in
+//	                                  canonical order plus a final {"report": ...} aggregate,
+//	                                  cache-shared and singleflight-deduped with /v1/channels/run
 //	GET /healthz                      liveness; 503 when the job queue stays full
 //	GET /metrics                      Prometheus text counters
 package main

@@ -1,0 +1,108 @@
+// Command leakysweep executes a whole shard of the covert-channel
+// scenario space in one invocation: a filter query selects scenarios
+// from the enumerated space, a bounded worker pool transmits them, and
+// the aggregated report — per-spec rows plus per-variant min/mean/max
+// matrices — prints as text or JSON. Per-spec seeds are split
+// deterministically from -seed, so the report bytes are identical for
+// every -workers value.
+//
+// Usage:
+//
+//	leakysweep                                    # the whole valid space
+//	leakysweep -filter 'mech=eviction,thread=mt'  # one slice of it
+//	leakysweep -filter 'model=xeon*,sgx=true' -bits 64 -workers 8
+//	leakysweep -maxp 2000 -calib 6                # reduced-scale full space
+//	leakysweep -list                              # print the shard, run nothing
+//	leakysweep -json -progress                    # report JSON, progress on stderr
+//
+// The filter grammar is comma-separated key=value clauses: globs for
+// model/mech/thread/sink (case-insensitive), true|false for
+// sgx/stealthy/contended, and single values or inclusive lo..hi ranges
+// for d/m/p. An empty filter sweeps everything.
+//
+// Ctrl-C stops the sweep gracefully: in-flight transmissions unwind at
+// their next checkpoint, the partial report (completed rows intact,
+// the rest marked) still prints, and the exit status is 1.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	leaky "repro"
+)
+
+func main() {
+	var (
+		filter   = flag.String("filter", "", "sweep query (empty = the whole valid space)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "specs transmitting concurrently (never changes the report bytes)")
+		bits     = flag.Int("bits", 0, "message bits per spec (0 = the default 200)")
+		seed     = flag.Uint64("seed", 1, "base seed; per-spec seeds are split from it")
+		calib    = flag.Int("calib", 0, "calibration-preamble override (0 = per-spec default)")
+		maxp     = flag.Int("maxp", 0, "clamp every spec's p parameter (0 = spec defaults); e.g. 2000 makes a full-space sweep finish in seconds")
+		jsonOut  = flag.Bool("json", false, "print the report as JSON instead of text")
+		progress = flag.Bool("progress", false, "print per-spec completions on stderr as they land")
+		list     = flag.Bool("list", false, "print the expanded shard and exit without running")
+	)
+	flag.Parse()
+
+	f, err := leaky.ParseSweepFilter(*filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o := leaky.SweepOptions{Bits: *bits, Seed: *seed, CalibBits: *calib, MaxP: *maxp, Workers: *workers}
+	if *list {
+		specs, err := leaky.ExpandSweep(f, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%d specs in shard %q:\n", len(specs), f.String())
+		for _, cs := range specs {
+			fmt.Println(" ", cs)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var emit func(leaky.SweepRow)
+	done := 0
+	if *progress {
+		emit = func(row leaky.SweepRow) {
+			done++
+			status := fmt.Sprintf("rate=%.2f Kbps err=%.2f%%", row.RateKbps, 100*row.ErrorRate)
+			if row.Err != "" {
+				status = row.Err
+			}
+			fmt.Fprintf(os.Stderr, "[%d] %s  %s\n", done, row.Canonical, status)
+		}
+	}
+	report, err := leaky.SweepCtx(ctx, f, o, emit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s\n", blob)
+	} else {
+		fmt.Print(report.Render())
+	}
+	if report.Completed < report.Specs {
+		fmt.Fprintf(os.Stderr, "leakysweep: cancelled with %d of %d specs incomplete\n",
+			report.Specs-report.Completed, report.Specs)
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/experiments"
@@ -15,6 +16,46 @@ import (
 // validation (400). The request is rejected before touching the job
 // queue or a simulation slot.
 var ErrBadSpec = errors.New("serve: invalid channel spec")
+
+// mergeOpts applies a request's overrides onto the server's base
+// options — set fields win, unset fields fall back — and normalizes
+// the result. Every endpoint that takes request options goes through
+// this one merge, so /v1/channels/run and /v1/sweeps can never
+// disagree on the effective options (and hence cache keys) for
+// identical inputs.
+func (s *Server) mergeOpts(o experiments.Opts) experiments.Opts {
+	base := s.opts
+	if o.Bits > 0 {
+		base.Bits = o.Bits
+	}
+	if o.Seed != 0 {
+		base.Seed = o.Seed
+	}
+	if o.Samples > 0 {
+		base.Samples = o.Samples
+	}
+	return base.Normalize()
+}
+
+// retryBusy runs fn until it stops reporting ErrBusy. A caller that
+// admits once per request (admitJob=false flights) can only see
+// ErrBusy by joining a flight whose leader — a single-artifact or
+// single-channel request — lost the admission race; such flights are
+// short-lived, so back off briefly and retry until this caller leads
+// one itself, or its context expires.
+func retryBusy(ctx context.Context, fn func() (experiments.Result, error)) (experiments.Result, error) {
+	for {
+		res, err := fn()
+		if err == nil || !errors.Is(err, ErrBusy) {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return experiments.Result{}, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
 
 // channelRunKey is the cache/singleflight identity of one channel run:
 // the spec's own versioned canonical key plus the message length. The
@@ -38,17 +79,7 @@ func channelRunKey(cs spec.ChannelSpec, bits int) string {
 // endpoints — and a spec without a seed takes the resulting effective
 // seed.
 func (s *Server) ChannelRun(ctx context.Context, cs spec.ChannelSpec, o experiments.Opts) (experiments.Result, error) {
-	base := s.opts
-	if o.Bits > 0 {
-		base.Bits = o.Bits
-	}
-	if o.Seed != 0 {
-		base.Seed = o.Seed
-	}
-	if o.Samples > 0 {
-		base.Samples = o.Samples
-	}
-	o = base.Normalize()
+	o = s.mergeOpts(o)
 	if cs.Seed == 0 {
 		cs.Seed = o.Seed
 	}
@@ -59,7 +90,20 @@ func (s *Server) ChannelRun(ctx context.Context, cs spec.ChannelSpec, o experime
 	if o.Bits > maxBits {
 		return experiments.Result{}, fmt.Errorf("%w: bits=%d out of range (want 1..%d)", ErrBadSpec, o.Bits, maxBits)
 	}
-	key := channelRunKey(cs, o.Bits)
+	return s.channelResult(ctx, cs, o.Bits, true)
+}
+
+// channelResult is the cache-aware core every channel execution goes
+// through — single POST /v1/channels/run requests and sweep shards
+// alike: a cache probe, then the flight group (keyed by the spec's
+// canonical key plus the message length, so concurrent identical
+// requests from either endpoint collapse into one simulation), then a
+// cached run. With admitJob set the flight leader claims one job-queue
+// slot per spec (the single-request admission unit); sweeps admit once
+// per request instead and pass admitJob false. cs must be normalized
+// and valid.
+func (s *Server) channelResult(ctx context.Context, cs spec.ChannelSpec, bits int, admitJob bool) (experiments.Result, error) {
+	key := channelRunKey(cs, bits)
 	if res, hit := s.cache.Get(key); hit {
 		s.metrics.CacheHits.Add(1)
 		return res, nil
@@ -69,11 +113,13 @@ func (s *Server) ChannelRun(ctx context.Context, cs spec.ChannelSpec, o experime
 			s.metrics.CacheHits.Add(1)
 			return res, nil
 		}
-		if !s.admit(1) {
-			return experiments.Result{}, ErrBusy
+		if admitJob {
+			if !s.admit(1) {
+				return experiments.Result{}, ErrBusy
+			}
+			defer s.release(1)
 		}
-		defer s.release(1)
-		res, err := s.runChannel(fctx, cs, o.Bits)
+		res, err := s.runChannel(fctx, cs, bits)
 		if err != nil {
 			return experiments.Result{}, err
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/runctx"
 	"repro/internal/spec"
+	"repro/internal/sweep"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -30,12 +31,19 @@ import (
 //	                                  events between result lines
 //	GET /v1/channels                  the valid covert-channel scenario
 //	                                  space (canonical spec strings plus
-//	                                  structured specs); ?model= narrows
-//	                                  to one Table I model
+//	                                  structured specs); ?filter= narrows
+//	                                  with the sweep query grammar,
+//	                                  ?model= remains as a model-only
+//	                                  alias
 //	POST /v1/channels/run             run one scenario: body is
 //	                                  {"spec": {...}, "opts": {...}};
 //	                                  invalid specs fail 400 up front,
 //	                                  results cache under the spec key
+//	POST /v1/sweeps                   run a whole shard of the space:
+//	                                  body is {"filter": "...", "opts":
+//	                                  {...}, "calib": n, "maxp": n};
+//	                                  NDJSON rows in canonical order
+//	                                  plus a final {"report": ...} line
 //	GET /healthz                      liveness probe (503 once the job
 //	                                  queue has been full for more than
 //	                                  one poll interval)
@@ -47,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/channels", s.handleChannels)
 	mux.HandleFunc("POST /v1/channels/run", s.handleChannelRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -131,12 +140,18 @@ type streamWriter struct {
 }
 
 func (sw *streamWriter) writeResult(res experiments.Result) {
+	sw.writeLine(res)
+}
+
+// writeLine encodes one NDJSON line of any shape (result rows, sweep
+// rows, the sweep report envelope) under the same closed gate.
+func (sw *streamWriter) writeLine(v any) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	if sw.closed {
 		return
 	}
-	sw.enc.Encode(res)
+	sw.enc.Encode(v)
 }
 
 func (sw *streamWriter) writeProgress(ev runctx.Event) {
@@ -284,24 +299,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	for i, a := range missing {
 		orig, key := a, keys[missingIdx[i]]
 		a.Run = func(rc experiments.RunCtx, _ experiments.Opts) (any, string, error) {
-			// With admitJob=false, compute can only return ErrBusy by
-			// joining a flight whose leader (a single-artifact request)
-			// lost the admission race; that flight is short-lived, so
-			// retry until this caller leads one itself.
-			for {
-				res, err := s.compute(rc.Context(), key, orig, o, false, sink)
-				if err == nil {
-					return res.Data, res.Rendered, nil
-				}
-				if !errors.Is(err, ErrBusy) {
-					return nil, "", err
-				}
-				select {
-				case <-rc.Context().Done():
-					return nil, "", rc.Context().Err()
-				case <-time.After(time.Millisecond):
-				}
+			res, err := retryBusy(rc.Context(), func() (experiments.Result, error) {
+				return s.compute(rc.Context(), key, orig, o, false, sink)
+			})
+			if err != nil {
+				return nil, "", err
 			}
+			return res.Data, res.Rendered, nil
 		}
 		wrapped[i] = a
 	}
@@ -328,9 +332,16 @@ type channelEntry struct {
 }
 
 // handleChannels enumerates the valid scenario space — the daemon's
-// servable covert-channel surface — for one model (?model=) or the
-// whole Table I catalog.
+// servable covert-channel surface. ?filter= narrows it with the same
+// query grammar POST /v1/sweeps takes (a malformed filter is a 400
+// before any enumeration); the historical model-only ?model= remains
+// as an alias and composes with the filter.
 func (s *Server) handleChannels(w http.ResponseWriter, r *http.Request) {
+	f, err := sweep.ParseFilter(r.URL.Query().Get("filter"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	models := cpu.Models()
 	if name := r.URL.Query().Get("model"); name != "" {
 		m, err := spec.ChannelSpec{Model: name}.ResolveModel()
@@ -340,10 +351,11 @@ func (s *Server) handleChannels(w http.ResponseWriter, r *http.Request) {
 		}
 		models = []cpu.Model{m}
 	}
-	specs := spec.Enumerate(models...)
-	entries := make([]channelEntry, len(specs))
-	for i, cs := range specs {
-		entries[i] = channelEntry{Spec: cs, Canonical: cs.String()}
+	entries := []channelEntry{}
+	for _, cs := range spec.Enumerate(models...) {
+		if f.Match(cs) {
+			entries = append(entries, channelEntry{Spec: cs, Canonical: cs.String()})
+		}
 	}
 	s.writeJSON(w, entries)
 }

@@ -19,6 +19,7 @@ type Metrics struct {
 	Timeouts      atomic.Uint64 // requests that gave up waiting (504)
 	Errors        atomic.Uint64 // other 4xx/5xx responses
 	Cancellations atomic.Uint64 // in-flight runs cancelled (abandoned or shutdown)
+	Sweeps        atomic.Uint64 // POST /v1/sweeps requests accepted past validation
 	InFlight      atomic.Int64  // artifact runs executing right now
 	Queued        atomic.Int64  // jobs admitted and waiting or running
 }
@@ -38,6 +39,7 @@ func (m *Metrics) Render(cacheLen, queueCap int) string {
 		"leakyfed_timeouts_total":      int64(m.Timeouts.Load()),
 		"leakyfed_errors_total":        int64(m.Errors.Load()),
 		"leakyfed_cancellations_total": int64(m.Cancellations.Load()),
+		"leakyfed_sweeps_total":        int64(m.Sweeps.Load()),
 		"leakyfed_inflight_runs":       m.InFlight.Load(),
 		"leakyfed_queue_depth":         m.Queued.Load(),
 		"leakyfed_queue_capacity":      int64(queueCap),

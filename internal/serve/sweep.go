@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/channel"
+	"repro/internal/experiments"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// sweepRequest is the POST /v1/sweeps body. Filter is the sweep query
+// grammar (empty sweeps the whole space); Opts follows the channel-run
+// semantics (bits scales every message, seed is the base seed the
+// per-spec seeds are split from, samples is ignored); Calib and MaxP
+// are the sweep scale overrides (0 keeps spec defaults).
+type sweepRequest struct {
+	Filter string           `json:"filter"`
+	Opts   experiments.Opts `json:"opts"`
+	Calib  int              `json:"calib,omitempty"`
+	MaxP   int              `json:"maxp,omitempty"`
+}
+
+// sweepReportLine is the NDJSON envelope of the stream's final line;
+// row lines are bare sweep.Row objects, so a client can tail per-spec
+// results and still tell the aggregate apart.
+type sweepReportLine struct {
+	Report sweep.Report `json:"report"`
+}
+
+// handleSweeps executes a whole shard of the scenario space in one
+// request: the filter expands through the enumerated space, each spec
+// runs through the same cache / singleflight path as POST
+// /v1/channels/run (cache hits stream instantly, concurrent identical
+// specs collapse across endpoints), and the response is an NDJSON
+// stream of per-spec rows in canonical enumeration order followed by
+// one {"report": ...} aggregate line. A sweep needing any simulation
+// counts as one job against the queue, like a /v1/run stream.
+//
+// Malformed bodies, filters, and scale overrides are 400 before any
+// work. Cancellation (server shutdown, or client disconnect under
+// CancelAbandoned) yields partial results: remaining rows carry Err,
+// and the report still aggregates what completed.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<10))
+	dec.DisallowUnknownFields()
+	var req sweepRequest
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	f, err := sweep.ParseFilter(req.Filter)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	o := s.mergeOpts(req.Opts)
+	if o.Bits > maxBits {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bits=%d out of range (want 1..%d)", o.Bits, maxBits))
+		return
+	}
+	if req.MaxP < 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("maxp=%d out of range (want >= 0)", req.MaxP))
+		return
+	}
+	so := sweep.Options{Bits: o.Bits, Seed: o.Seed, CalibBits: req.Calib, MaxP: req.MaxP, Workers: s.workers}
+	specs, err := sweep.Expand(f, so)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.Sweeps.Add(1)
+
+	// Like /v1/run: partition the shard into results already cached and
+	// specs needing a simulation, and serve the hits from this snapshot
+	// — so the admission decision (a sweep needing any simulation is
+	// one job; a fully cached one bypasses the queue) cannot be
+	// invalidated by an eviction racing in between probe and run.
+	// CacheHits is counted when a probed result is actually served (in
+	// the run callback), not here: a sweep the queue then rejects with
+	// 429 served nothing and must not inflate the hit counter.
+	probed := make(map[string]channel.Result, len(specs))
+	missing := 0
+	for _, cs := range specs {
+		key := channelRunKey(cs, so.Bits)
+		if res, hit := s.cache.Get(key); hit {
+			if tres, ok := res.Data.(channel.Result); ok {
+				probed[key] = tres
+				continue
+			}
+		}
+		missing++
+	}
+	if missing > 0 {
+		if !s.admit(1) {
+			s.fail(w, http.StatusTooManyRequests, fmt.Errorf("%d specs need simulation, queue full", missing))
+			return
+		}
+		defer s.release(1)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sw := &streamWriter{enc: json.NewEncoder(w), flusher: flusher}
+	defer sw.close()
+
+	// The sweep's run context decides what a disconnect means, exactly
+	// as for /v1/run streams: by default only server shutdown cancels
+	// (an abandoned sweep keeps warming the cache); with
+	// CancelAbandoned the request context governs.
+	runCtx := s.lifecycle
+	if s.cancelAbandoned {
+		runCtx = r.Context()
+	}
+	run := func(ctx context.Context, cs spec.ChannelSpec, bits int) (channel.Result, error) {
+		if tres, ok := probed[channelRunKey(cs, bits)]; ok {
+			s.metrics.CacheHits.Add(1)
+			return tres, nil
+		}
+		res, err := retryBusy(ctx, func() (experiments.Result, error) {
+			return s.channelResult(ctx, cs, bits, false)
+		})
+		if err != nil {
+			return channel.Result{}, err
+		}
+		tres, ok := res.Data.(channel.Result)
+		if !ok {
+			return channel.Result{}, fmt.Errorf("serve: cached %q is not a channel result", res.Name)
+		}
+		return tres, nil
+	}
+	report := sweep.RunSpecs(runCtx, f, so, specs, run, func(row sweep.Row) {
+		sw.writeLine(row)
+		sw.flush()
+	})
+	sw.writeLine(sweepReportLine{Report: report})
+}

@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// sweepFilter is a cheap shard for unit tests: the plain non-MT timing
+// eviction channels on every model (8 specs, milliseconds each).
+const sweepFilter = "mech=eviction,thread=nonmt,sink=timing,sgx=false"
+
+func postSweep(t *testing.T, ts *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// decodeSweepStream splits an NDJSON sweep response into its row lines
+// and the final report line.
+func decodeSweepStream(t *testing.T, body []byte) ([]sweep.Row, sweep.Report) {
+	t.Helper()
+	var rows []sweep.Row
+	var report sweep.Report
+	sawReport := false
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(nil, 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if sawReport {
+			t.Fatalf("line after the report: %s", line)
+		}
+		var envelope struct {
+			Report *sweep.Report `json:"report"`
+		}
+		if err := json.Unmarshal(line, &envelope); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if envelope.Report != nil {
+			report, sawReport = *envelope.Report, true
+			continue
+		}
+		var row sweep.Row
+		if err := json.Unmarshal(line, &row); err != nil {
+			t.Fatalf("bad row line %q: %v", line, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawReport {
+		t.Fatal("stream ended without a report line")
+	}
+	return rows, report
+}
+
+// TestSweepEndToEnd exercises the daemon's whole sweep surface in one
+// flow — enumerate via GET /v1/channels?filter=, sweep the same shard
+// via POST /v1/sweeps, check /metrics — and proves the acceptance
+// criterion that a repeated sweep against a warm daemon serves every
+// spec from the cache.
+func TestSweepEndToEnd(t *testing.T) {
+	s := NewServer(Config{Opts: experiments.Opts{Bits: 16}, Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The servable shard, through the same grammar the sweep takes.
+	code, body := get(t, ts, "/v1/channels?filter="+strings.ReplaceAll(sweepFilter, ",", "%2C"))
+	if code != 200 {
+		t.Fatalf("GET /v1/channels?filter=: status %d: %s", code, body)
+	}
+	var entries []channelEntry
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("filtered /v1/channels returned no entries")
+	}
+
+	req := fmt.Sprintf(`{"filter": %q, "opts": {"seed": 3}}`, sweepFilter)
+	code, body1 := postSweep(t, ts, req)
+	if code != 200 {
+		t.Fatalf("first sweep: status %d: %s", code, body1)
+	}
+	rows, report := decodeSweepStream(t, body1)
+	if len(rows) != len(entries) || report.Specs != len(entries) {
+		t.Fatalf("sweep ran %d rows / %d specs, want %d (the filtered space)", len(rows), report.Specs, len(entries))
+	}
+	if report.Completed != report.Specs {
+		t.Fatalf("sweep incomplete: %d/%d", report.Completed, report.Specs)
+	}
+	for i, row := range rows {
+		if row.Err != "" {
+			t.Errorf("row %s: %s", row.Canonical, row.Err)
+		}
+		if row != report.Rows[i] {
+			t.Errorf("streamed row %d differs from the report's", i)
+		}
+		if row.Spec.Model != entries[i].Spec.Model || row.Spec.Stealthy != entries[i].Spec.Stealthy {
+			t.Errorf("row %d order diverges from the enumeration: %s vs %s", i, row.Canonical, entries[i].Canonical)
+		}
+	}
+	if report.Bits != 16 {
+		t.Errorf("report bits %d, want the server default 16", report.Bits)
+	}
+	misses, hits := s.Metrics().CacheMisses.Load(), s.Metrics().CacheHits.Load()
+	if misses != uint64(len(entries)) || hits != 0 {
+		t.Fatalf("cold sweep: %d misses / %d hits, want %d / 0", misses, hits, len(entries))
+	}
+
+	// A repeated sweep against the warm daemon serves every spec from
+	// the cache — byte-identically — and the cache counters say so.
+	code, body2 := postSweep(t, ts, req)
+	if code != 200 {
+		t.Fatalf("second sweep: status %d: %s", code, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("warm sweep bytes differ:\n%s\nvs\n%s", body1, body2)
+	}
+	if got := s.Metrics().CacheMisses.Load(); got != misses {
+		t.Errorf("warm sweep simulated: misses %d -> %d", misses, got)
+	}
+	if got := s.Metrics().CacheHits.Load(); got != uint64(len(entries)) {
+		t.Errorf("warm sweep cache hits = %d, want %d (every spec)", got, len(entries))
+	}
+
+	// /metrics reflects the flow.
+	code, body = get(t, ts, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"leakyfed_sweeps_total 2",
+		fmt.Sprintf("leakyfed_cache_hits_total %d", len(entries)),
+		fmt.Sprintf("leakyfed_cache_misses_total %d", len(entries)),
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if q := s.Metrics().Queued.Load(); q != 0 {
+		t.Errorf("queue depth %d after sweeps, want 0", q)
+	}
+}
+
+// TestSweepSharesCacheWithChannelRun proves the two endpoints are one
+// execution space: channel runs warm sweeps, sweeps warm channel runs,
+// and concurrent identical specs collapse across endpoints (total
+// simulations == distinct specs however the requests interleave).
+func TestSweepSharesCacheWithChannelRun(t *testing.T) {
+	s := NewServer(Config{Opts: experiments.Opts{Bits: 12}, Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The specs a sweep would run, computed exactly as the server does.
+	f, err := sweep.ParseFilter(sweepFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := sweep.Expand(f, sweep.Options{Bits: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := specs[0]
+
+	// Pre-warm one spec through POST /v1/channels/run (the sweep's
+	// split seed travels in the spec, so the bodies name the same key),
+	// then race the sweep against more channel-run POSTs of it.
+	blob, _ := json.Marshal(target)
+	runBody := fmt.Sprintf(`{"spec": %s, "opts": {"bits": 12}}`, blob)
+	if code, body := postChannelRun(t, ts, runBody); code != 200 {
+		t.Fatalf("channel run: status %d: %s", code, body)
+	}
+	if misses := s.Metrics().CacheMisses.Load(); misses != 1 {
+		t.Fatalf("priming run: %d misses", misses)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if code, body := postChannelRun(t, ts, runBody); code != 200 {
+				t.Errorf("concurrent channel run: status %d: %s", code, body)
+			}
+		}()
+	}
+	wg.Add(1)
+	var rows []sweep.Row
+	go func() {
+		defer wg.Done()
+		code, body := postSweep(t, ts, fmt.Sprintf(`{"filter": %q}`, sweepFilter))
+		if code != 200 {
+			t.Errorf("sweep: status %d: %s", code, body)
+			return
+		}
+		rows, _ = decodeSweepStream(t, body)
+	}()
+	wg.Wait()
+
+	// However the requests interleaved, each distinct spec simulated
+	// exactly once: the primed spec was a hit or a joined flight
+	// everywhere, the rest ran once each under the shared keys.
+	if misses := s.Metrics().CacheMisses.Load(); misses != uint64(len(specs)) {
+		t.Errorf("total simulations %d, want %d distinct specs", misses, len(specs))
+	}
+	// The sweep's row for the primed spec matches the channel-run data.
+	var primed experiments.Result
+	code, body := postChannelRun(t, ts, runBody)
+	if code != 200 {
+		t.Fatalf("re-fetch: status %d", code)
+	}
+	if err := json.Unmarshal(body, &primed); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range rows {
+		if row.Spec == target {
+			found = true
+			if !strings.Contains(primed.Desc, row.Canonical) {
+				t.Errorf("canonical mismatch: %q vs %q", primed.Desc, row.Canonical)
+			}
+		}
+	}
+	if !found {
+		t.Error("sweep rows do not contain the primed spec")
+	}
+}
+
+func TestSweepRejectsBadRequestsBeforeAnyWork(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, body, want string
+	}{
+		{"malformed JSON", `{"filter": `, "bad request body"},
+		{"unknown field", `{"filter": "", "wat": 1}`, "unknown field"},
+		{"malformed filter", `{"filter": "color=red"}`, "unknown key"},
+		{"bad range", `{"filter": "d=6..2"}`, "bad range"},
+		{"bad glob", `{"filter": "model=["}`, "bad pattern"},
+		{"oversized bits", `{"filter": "", "opts": {"bits": 1000000}}`, "out of range"},
+		{"bad calib", `{"filter": "", "calib": 1}`, "out of range"},
+		{"negative maxp", `{"filter": "", "maxp": -1}`, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postSweep(t, ts, tc.body)
+			if code != 400 {
+				t.Fatalf("status %d, want 400; body: %s", code, body)
+			}
+			if !strings.Contains(string(body), tc.want) {
+				t.Errorf("body %q does not mention %q", body, tc.want)
+			}
+		})
+	}
+	if misses := s.Metrics().CacheMisses.Load(); misses != 0 {
+		t.Errorf("rejected sweeps ran %d simulations", misses)
+	}
+	if q := s.Metrics().Queued.Load(); q != 0 {
+		t.Errorf("queue depth %d after rejections", q)
+	}
+	if sweeps := s.Metrics().Sweeps.Load(); sweeps != 0 {
+		t.Errorf("rejected requests counted as %d sweeps", sweeps)
+	}
+}
+
+func TestChannelsFilterGrammar(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	count := func(path string) int {
+		t.Helper()
+		code, body := get(t, ts, path)
+		if code != 200 {
+			t.Fatalf("GET %s: status %d: %s", path, code, body)
+		}
+		var entries []channelEntry
+		if err := json.Unmarshal(body, &entries); err != nil {
+			t.Fatal(err)
+		}
+		return len(entries)
+	}
+
+	all := count("/v1/channels")
+	mt := count("/v1/channels?filter=thread%3Dmt")
+	if mt == 0 || mt >= all {
+		t.Errorf("thread=mt matched %d of %d", mt, all)
+	}
+	// ?model= stays as an alias and composes with ?filter=.
+	gold := count("/v1/channels?model=Gold+6226")
+	if gold == 0 || gold >= all {
+		t.Errorf("model alias matched %d of %d", gold, all)
+	}
+	goldMT := count("/v1/channels?model=Gold+6226&filter=thread%3Dmt")
+	if goldMT == 0 || goldMT >= gold || goldMT >= mt {
+		t.Errorf("composed alias+filter matched %d (gold %d, mt %d)", goldMT, gold, mt)
+	}
+	// An impossible slice is an empty list, not an error.
+	if n := count("/v1/channels?filter=sink%3Dpower%2Csgx%3Dtrue"); n != 0 {
+		t.Errorf("power+SGX slice has %d entries, want 0", n)
+	}
+	// A malformed filter is a 400 before any enumeration.
+	if code, body := get(t, ts, "/v1/channels?filter=color%3Dred"); code != 400 {
+		t.Errorf("malformed filter: status %d: %s", code, body)
+	}
+	if code, body := get(t, ts, "/v1/channels?filter=d%3D6..2"); code != 400 {
+		t.Errorf("inverted range: status %d: %s", code, body)
+	}
+}

@@ -1,0 +1,62 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// FuzzChannelSpec hardens the spec lifecycle against arbitrary field
+// combinations: Normalize must be idempotent and String-stable, and a
+// spec Validate accepts must survive Build, String, and CacheKey
+// without panicking — the contract the serving daemon relies on when
+// it admits untrusted specs after a Validate. The corpus is seeded
+// with the whole enumerated valid space, so mutation starts from every
+// real scenario shape.
+func FuzzChannelSpec(f *testing.F) {
+	for _, s := range Enumerate(cpu.Models()...) {
+		f.Add(s.Model, string(s.Mechanism), string(s.Threading), string(s.Sink),
+			s.SGX, s.Stealthy, s.Contended, s.D, s.M, s.P, s.CalibBits, s.Seed)
+	}
+	// A few adversarial shapes the enumeration never produces.
+	f.Add("", "", "", "", false, false, false, 0, 0, 0, 0, uint64(0))
+	f.Add("Pentium", "voodoo", "smt4", "acoustic", true, true, true, -1, 99, -7, 1, uint64(42))
+	f.Fuzz(func(t *testing.T, model, mech, thread, sink string,
+		sgx, stealthy, contended bool, d, m, p, calib int, seed uint64) {
+		s := ChannelSpec{
+			Model: model, Mechanism: Mechanism(mech), Threading: Threading(thread),
+			Sink: Sink(sink), SGX: sgx, Stealthy: stealthy, Contended: contended,
+			D: d, M: m, P: p, CalibBits: calib, Seed: seed,
+		}
+		n := s.Normalize()
+		if n != n.Normalize() {
+			t.Fatalf("Normalize not idempotent: %#v -> %#v", n, n.Normalize())
+		}
+		// String normalizes internally, so it must be stable across an
+		// explicit Normalize, and the canonical forms must agree.
+		if s.String() != n.String() {
+			t.Fatalf("String not stable across Normalize:\n%s\n%s", s, n)
+		}
+		if s.CacheKey() != n.CacheKey() {
+			t.Fatalf("CacheKey not stable across Normalize")
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		// Validate promised Build will succeed: any panic here fails the
+		// fuzz run.
+		mdl, err := s.ResolveModel()
+		if err != nil {
+			t.Fatalf("Validate accepted a spec whose model does not resolve: %s", s)
+		}
+		ch := s.Build(mdl)
+		if ch == nil || ch.Name() == "" {
+			t.Fatalf("Build returned a nameless channel for %s", s)
+		}
+		// A validated spec's normal form must validate too (the daemon
+		// caches under the normalized key).
+		if err := n.Validate(); err != nil {
+			t.Fatalf("normal form of a valid spec is invalid: %v", err)
+		}
+	})
+}

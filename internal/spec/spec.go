@@ -379,14 +379,28 @@ func (s ChannelSpec) Build(m cpu.Model) channel.BitChannel {
 	}
 }
 
+// Identity returns the canonical encoding without the seed clause: the
+// scenario's seed-independent identity. Sweep-style seed splitting
+// derives each spec's seed from this string, so equal scenarios get
+// equal splits whatever seed they currently hold; any new field must
+// be added here (and thereby to String), never after the seed clause.
+func (s ChannelSpec) Identity() string {
+	return s.Normalize().identityNorm()
+}
+
+// identityNorm renders the identity of an already-normalized spec.
+func (s ChannelSpec) identityNorm() string {
+	return fmt.Sprintf("model=%s,mech=%s,thread=%s,sink=%s,sgx=%t,stealthy=%t,contended=%t,d=%d,m=%d,p=%d,calib=%d",
+		s.Model, s.Mechanism, s.Threading, s.Sink, s.SGX, s.Stealthy, s.Contended, s.D, s.M, s.P, s.CalibBits)
+}
+
 // String returns the canonical encoding: the normalized fields in a
-// fixed order, so every spelling of one scenario renders one string.
-// It is the flag-friendly inverse of the JSON form and the body of
-// CacheKey.
+// fixed order — Identity plus the seed clause — so every spelling of
+// one scenario renders one string. It is the flag-friendly inverse of
+// the JSON form and the body of CacheKey.
 func (s ChannelSpec) String() string {
 	s = s.Normalize()
-	return fmt.Sprintf("model=%s,mech=%s,thread=%s,sink=%s,sgx=%t,stealthy=%t,contended=%t,d=%d,m=%d,p=%d,calib=%d,seed=%d",
-		s.Model, s.Mechanism, s.Threading, s.Sink, s.SGX, s.Stealthy, s.Contended, s.D, s.M, s.P, s.CalibBits, s.Seed)
+	return fmt.Sprintf("%s,seed=%d", s.identityNorm(), s.Seed)
 }
 
 // CacheKey returns the versioned canonical key for this scenario.

@@ -189,6 +189,16 @@ func TestCanonicalEncoding(t *testing.T) {
 	if !strings.HasPrefix(a.CacheKey(), "chan-v1|") {
 		t.Errorf("cache key %q not versioned", a.CacheKey())
 	}
+	// Identity is the canonical encoding minus the seed clause; specs
+	// differing only by seed share it.
+	if a.String() != a.Identity()+",seed=1" {
+		t.Errorf("String %q is not Identity %q + seed clause", a.String(), a.Identity())
+	}
+	seeded := b
+	seeded.Seed = 99
+	if seeded.Identity() != b.Identity() {
+		t.Error("Identity varies with the seed")
+	}
 	c := b
 	c.Seed = 2
 	if c.CacheKey() == b.CacheKey() {

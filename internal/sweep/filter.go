@@ -1,0 +1,293 @@
+// Package sweep turns the enumerated ChannelSpec space from a catalog
+// into a workload: a Filter selects a slice of the space with a small
+// query grammar, Expand materializes it through spec.Enumerate with
+// deterministic per-spec seed splitting, and Run executes the shard on
+// a bounded worker pool and aggregates the transmissions into a Report
+// whose bytes are identical for any worker count.
+//
+// The grammar is comma-separated key=value clauses:
+//
+//	model=xeon*,mech=eviction,thread=mt,sink=timing,sgx=false,d=1..4
+//
+// model/mech/thread/sink take case-insensitive shell globs (any
+// path.Match pattern without a comma — the clause separator),
+// sgx/stealthy/contended take true|false, and d/m/p take a single
+// value or an inclusive lo..hi range. An empty query selects the whole
+// space. ParseFilter and Filter.String round-trip: parsing a filter's
+// String yields the same Filter, and the String is the filter's
+// canonical spelling (clauses in a fixed order, defaults omitted).
+package sweep
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// Tri is a three-valued boolean constraint: unconstrained, or required
+// false/true. The zero value is unconstrained, so a zero Filter matches
+// everything.
+type Tri int
+
+// Tri values.
+const (
+	TriAny Tri = iota
+	TriFalse
+	TriTrue
+)
+
+// match reports whether v satisfies the constraint.
+func (t Tri) match(v bool) bool {
+	return t == TriAny || (t == TriTrue) == v
+}
+
+// Range is an inclusive integer constraint; the zero value is
+// unconstrained. Set distinguishes a parsed point range from the
+// unconstrained zero value, so "m=0" genuinely constrains (the
+// enumerated space holds m=0 specs) instead of matching everything.
+// The grammar spells a point range "n" and a wider one "lo..hi".
+type Range struct {
+	Lo, Hi int
+	Set    bool
+}
+
+// match reports whether v lies in the range (always true when unset).
+func (r Range) match(v int) bool {
+	return !r.Set || (v >= r.Lo && v <= r.Hi)
+}
+
+func (r Range) String() string {
+	if r.Lo == r.Hi {
+		return strconv.Itoa(r.Lo)
+	}
+	return fmt.Sprintf("%d..%d", r.Lo, r.Hi)
+}
+
+// Filter selects a slice of the enumerated scenario space. The zero
+// value matches every spec. Filters are plain comparable data: two
+// filters selecting the same slice with the same spelling compare
+// equal, and String renders the canonical query the filter was (or
+// could have been) parsed from.
+type Filter struct {
+	// Model, Mechanism, Threading, Sink are case-insensitive
+	// shell-style globs ("" matches anything).
+	Model     string
+	Mechanism string
+	Threading string
+	Sink      string
+	// SGX, Stealthy, Contended constrain the spec's booleans.
+	SGX       Tri
+	Stealthy  Tri
+	Contended Tri
+	// D, M, P constrain the protocol parameters (inclusive ranges
+	// against the normalized spec, so they select among the enumerated
+	// defaults).
+	D, M, P Range
+}
+
+// filterKeys is the canonical clause order of the grammar; String
+// renders set clauses in this order and ParseFilter rejects keys
+// outside it.
+var filterKeys = []string{"model", "mech", "thread", "sink", "sgx", "stealthy", "contended", "d", "m", "p"}
+
+// ParseFilter parses the sweep query grammar. The empty string is the
+// whole space. Unknown keys, duplicate keys, malformed globs, bad
+// booleans, and inverted or non-numeric ranges are errors naming the
+// offending clause, so a typo is reported before any work happens.
+func ParseFilter(query string) (Filter, error) {
+	var f Filter
+	seen := map[string]bool{}
+	for _, clause := range strings.Split(query, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return Filter{}, fmt.Errorf("sweep: bad clause %q: want key=value (keys: %s)", clause, strings.Join(filterKeys, ", "))
+		}
+		if seen[key] {
+			return Filter{}, fmt.Errorf("sweep: duplicate key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "model":
+			f.Model, err = parseGlob(val)
+		case "mech":
+			f.Mechanism, err = parseGlob(val)
+		case "thread":
+			f.Threading, err = parseGlob(val)
+		case "sink":
+			f.Sink, err = parseGlob(val)
+		case "sgx":
+			f.SGX, err = parseTri(val)
+		case "stealthy":
+			f.Stealthy, err = parseTri(val)
+		case "contended":
+			f.Contended, err = parseTri(val)
+		case "d":
+			f.D, err = parseRange(val)
+		case "m":
+			f.M, err = parseRange(val)
+		case "p":
+			f.P, err = parseRange(val)
+		default:
+			return Filter{}, fmt.Errorf("sweep: unknown key %q (keys: %s)", key, strings.Join(filterKeys, ", "))
+		}
+		if err != nil {
+			return Filter{}, fmt.Errorf("sweep: clause %q: %v", clause, err)
+		}
+	}
+	return f, nil
+}
+
+// String renders the canonical query: set clauses only, in the fixed
+// key order. ParseFilter(f.String()) == f, and the zero Filter renders
+// the empty query (the whole space).
+func (f Filter) String() string {
+	var clauses []string
+	add := func(key, val string) {
+		if val != "" {
+			clauses = append(clauses, key+"="+val)
+		}
+	}
+	add("model", f.Model)
+	add("mech", f.Mechanism)
+	add("thread", f.Threading)
+	add("sink", f.Sink)
+	add("sgx", f.SGX.clause())
+	add("stealthy", f.Stealthy.clause())
+	add("contended", f.Contended.clause())
+	add("d", rangeClause(f.D))
+	add("m", rangeClause(f.M))
+	add("p", rangeClause(f.P))
+	return strings.Join(clauses, ",")
+}
+
+func (t Tri) clause() string {
+	switch t {
+	case TriTrue:
+		return "true"
+	case TriFalse:
+		return "false"
+	}
+	return ""
+}
+
+func rangeClause(r Range) string {
+	if !r.Set {
+		return ""
+	}
+	return r.String()
+}
+
+// validate vets a filter's fields the way ParseFilter vets a query's,
+// catching hand-built filters ParseFilter never saw: a malformed glob
+// (which Match silently never matches), one containing a comma (which
+// could never round-trip through String), an inverted or negative
+// range (which matches nothing and renders an unparseable query), or
+// an out-of-range Tri. Expand calls it so all of them become errors
+// instead of silent misbehavior.
+func (f Filter) validate() error {
+	for _, g := range []struct{ key, pattern string }{
+		{"model", f.Model}, {"mech", f.Mechanism}, {"thread", f.Threading}, {"sink", f.Sink},
+	} {
+		if g.pattern == "" {
+			continue
+		}
+		if _, err := parseGlob(g.pattern); err != nil {
+			return fmt.Errorf("sweep: clause %q: %v", g.key+"="+g.pattern, err)
+		}
+	}
+	for _, r := range []struct {
+		key string
+		r   Range
+	}{{"d", f.D}, {"m", f.M}, {"p", f.P}} {
+		if r.r.Set && (r.r.Lo < 0 || r.r.Hi < r.r.Lo) {
+			return fmt.Errorf("sweep: clause %q: bad range %d..%d (want 0 <= lo <= hi)", r.key+"="+r.r.String(), r.r.Lo, r.r.Hi)
+		}
+	}
+	for _, tv := range []struct {
+		key string
+		t   Tri
+	}{{"sgx", f.SGX}, {"stealthy", f.Stealthy}, {"contended", f.Contended}} {
+		if tv.t < TriAny || tv.t > TriTrue {
+			return fmt.Errorf("sweep: clause %q: bad Tri value %d", tv.key, int(tv.t))
+		}
+	}
+	return nil
+}
+
+// Match reports whether the normalized spec is in the filter's slice of
+// the space.
+func (f Filter) Match(s spec.ChannelSpec) bool {
+	s = s.Normalize()
+	return matchGlob(f.Model, s.Model) &&
+		matchGlob(f.Mechanism, string(s.Mechanism)) &&
+		matchGlob(f.Threading, string(s.Threading)) &&
+		matchGlob(f.Sink, string(s.Sink)) &&
+		f.SGX.match(s.SGX) &&
+		f.Stealthy.match(s.Stealthy) &&
+		f.Contended.match(s.Contended) &&
+		f.D.match(s.D) &&
+		f.M.match(s.M) &&
+		f.P.match(s.P)
+}
+
+// parseGlob validates a shell-style pattern up front so Match never has
+// to report an error; patterns are matched case-insensitively. A comma
+// is the grammar's clause separator, so a pattern containing one (legal
+// for path.Match inside a character class) could never round-trip
+// through String — reject it with a better message than the reparse
+// would give.
+func parseGlob(pattern string) (string, error) {
+	if strings.ContainsRune(pattern, ',') {
+		return "", fmt.Errorf("bad pattern %q (a comma separates clauses and cannot appear in a glob)", pattern)
+	}
+	if _, err := path.Match(pattern, ""); err != nil {
+		return "", fmt.Errorf("bad pattern %q", pattern)
+	}
+	return pattern, nil
+}
+
+func matchGlob(pattern, value string) bool {
+	if pattern == "" {
+		return true
+	}
+	ok, _ := path.Match(strings.ToLower(pattern), strings.ToLower(value))
+	return ok
+}
+
+func parseTri(val string) (Tri, error) {
+	switch val {
+	case "true":
+		return TriTrue, nil
+	case "false":
+		return TriFalse, nil
+	}
+	return TriAny, fmt.Errorf("bad boolean %q (true|false)", val)
+}
+
+func parseRange(val string) (Range, error) {
+	lo, hi, isRange := strings.Cut(val, "..")
+	if !isRange {
+		hi = lo
+	}
+	l, err := strconv.Atoi(lo)
+	if err != nil {
+		return Range{}, fmt.Errorf("bad bound %q", lo)
+	}
+	h, err := strconv.Atoi(hi)
+	if err != nil {
+		return Range{}, fmt.Errorf("bad bound %q", hi)
+	}
+	if l < 0 || h < l {
+		return Range{}, fmt.Errorf("bad range %d..%d (want 0 <= lo <= hi)", l, h)
+	}
+	return Range{Lo: l, Hi: h, Set: true}, nil
+}

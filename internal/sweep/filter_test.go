@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/spec"
+)
+
+func TestParseFilterRoundTrip(t *testing.T) {
+	cases := []struct {
+		query string
+		want  Filter
+	}{
+		{"", Filter{}},
+		{"mech=eviction", Filter{Mechanism: "eviction"}},
+		{"model=xeon*,d=2..6,sgx=true", Filter{Model: "xeon*", D: Range{2, 6, true}, SGX: TriTrue}},
+		{"thread=mt,stealthy=false,p=10", Filter{Threading: "mt", Stealthy: TriFalse, P: Range{10, 10, true}}},
+		{"sink=power,contended=false,m=8", Filter{Sink: "power", Contended: TriFalse, M: Range{8, 8, true}}},
+		// Whitespace and empty clauses are tolerated and canonicalized
+		// away; a point range "3..3" canonicalizes to "3".
+		{" mech=eviction ,, d=3..3 ", Filter{Mechanism: "eviction", D: Range{3, 3, true}}},
+		// Clause order in the input does not matter; String renders the
+		// fixed canonical order.
+		{"d=1..4,mech=misalignment", Filter{Mechanism: "misalignment", D: Range{1, 4, true}}},
+		// A zero point range is a real constraint, distinct from the
+		// unconstrained zero Filter.
+		{"m=0", Filter{M: Range{0, 0, true}}},
+	}
+	for _, tc := range cases {
+		f, err := ParseFilter(tc.query)
+		if err != nil {
+			t.Errorf("ParseFilter(%q): %v", tc.query, err)
+			continue
+		}
+		if f != tc.want {
+			t.Errorf("ParseFilter(%q) = %#v, want %#v", tc.query, f, tc.want)
+		}
+		back, err := ParseFilter(f.String())
+		if err != nil {
+			t.Errorf("ParseFilter(%q.String() = %q): %v", tc.query, f.String(), err)
+			continue
+		}
+		if back != f {
+			t.Errorf("round trip changed the filter: %q -> %q", tc.query, f.String())
+		}
+		// The canonical string is a fixed point.
+		if back.String() != f.String() {
+			t.Errorf("String not canonical: %q vs %q", back.String(), f.String())
+		}
+	}
+}
+
+func TestParseFilterRejectsMalformedQueries(t *testing.T) {
+	cases := []struct {
+		name, query, want string
+	}{
+		{"unknown key", "color=red", "unknown key"},
+		{"duplicate key", "d=1,d=2", "duplicate key"},
+		{"missing value", "mech=", "want key=value"},
+		{"missing equals", "eviction", "want key=value"},
+		{"bad boolean", "sgx=maybe", "bad boolean"},
+		{"bad glob", "model=[", "bad pattern"},
+		{"inverted range", "d=6..2", "bad range"},
+		{"negative range", "d=-1", "bad range"},
+		{"non-numeric range", "p=ten", "bad bound"},
+		{"half range", "p=1..", "bad bound"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFilter(tc.query)
+			if err == nil {
+				t.Fatalf("ParseFilter(%q) accepted a malformed query", tc.query)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFilterMatch(t *testing.T) {
+	all := spec.Enumerate(cpu.Models()...)
+	count := func(query string) int {
+		t.Helper()
+		f, err := ParseFilter(query)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", query, err)
+		}
+		n := 0
+		for _, s := range all {
+			if f.Match(s) {
+				n++
+			}
+		}
+		return n
+	}
+	if n := count(""); n != len(all) {
+		t.Errorf("empty filter matched %d of %d specs", n, len(all))
+	}
+	// Globs are case-insensitive; the two spellings select the same
+	// slice, and per-model counts match Enumerate's per-model counts.
+	if a, b := count("model=Gold*"), count("model=gold*"); a != b || a != len(spec.Enumerate(cpu.Gold6226())) {
+		t.Errorf("model glob counts: %d vs %d, want %d", a, b, len(spec.Enumerate(cpu.Gold6226())))
+	}
+	// Structural identities of the enumerated space.
+	if got, want := count("mech=slowswitch"), count("mech=slowswitch,thread=nonmt,sink=timing,sgx=false"); got != want {
+		t.Errorf("slowswitch slice %d != its only valid variant %d", got, want)
+	}
+	if got := count("sink=power,sgx=true"); got != 0 {
+		t.Errorf("power+SGX matched %d specs, want 0 (impossible combo)", got)
+	}
+	if got, want := count("thread=mt"), count("thread=mt,stealthy=false"); got != want {
+		t.Errorf("MT slice %d != MT fast slice %d (MT has no stealthy variant)", got, want)
+	}
+	// d ranges select among the enumerated defaults: eviction d=6,
+	// misalignment d=5.
+	if got, want := count("d=6..8"), count("mech=eviction"); got != want {
+		t.Errorf("d=6..8 matched %d, want the eviction slice %d", got, want)
+	}
+	if got := count("d=1..4"); got != 0 {
+		t.Errorf("d=1..4 matched %d specs, want 0 (no enumerated default below 5)", got)
+	}
+	// p point ranges distinguish the protocol families.
+	if got, want := count("p=120000"), count("sink=power"); got != want {
+		t.Errorf("p=120000 matched %d, want the power slice %d", got, want)
+	}
+	// m=0 constrains (everything but misalignment, whose default is
+	// m=8) rather than degenerating into the unconstrained zero Range.
+	if got, want := count("m=0"), len(all)-count("mech=misalignment"); got != want {
+		t.Errorf("m=0 matched %d, want the non-misalignment slice %d", got, want)
+	}
+}

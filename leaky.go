@@ -34,6 +34,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/spec"
 	"repro/internal/spectre"
+	"repro/internal/sweep"
 	"repro/internal/ucode"
 	"repro/internal/victim"
 )
@@ -124,6 +125,67 @@ func EnumerateSpecs(m Model) []ChannelSpec { return spec.Enumerate(m) }
 // AllChannelSpecs enumerates the valid scenario space across the whole
 // Table I catalog.
 func AllChannelSpecs() []ChannelSpec { return spec.Enumerate(cpu.Models()...) }
+
+// SweepFilter selects a slice of the enumerated scenario space with the
+// sweep query grammar — comma-separated clauses like
+// "model=xeon*,mech=eviction,thread=mt,d=1..4" (globs for
+// model/mech/thread/sink, true|false for sgx/stealthy/contended,
+// single values or lo..hi ranges for d/m/p). The zero value selects
+// everything; ParseSweepFilter and String round-trip.
+type SweepFilter = sweep.Filter
+
+// SweepOptions scales a sweep: message bits, the base seed per-spec
+// seeds are split from, calibration override, the p clamp (MaxP) for
+// reduced-scale full-space sweeps, and the worker count — which never
+// changes a report's bytes.
+type SweepOptions = sweep.Options
+
+// SweepRow is one spec's result in a sweep report.
+type SweepRow = sweep.Row
+
+// SweepGroup aggregates one channel variant's completed rows
+// (min/mean/max of rate and error); its Key is a filter query
+// selecting exactly that variant.
+type SweepGroup = sweep.Group
+
+// SweepReport is a sweep's aggregate: per-spec rows plus per-variant
+// matrices, in canonical enumeration order, byte-identical for every
+// worker count.
+type SweepReport = sweep.Report
+
+// ParseSweepFilter parses the sweep query grammar; the empty string is
+// the whole space. Malformed clauses error before any work.
+func ParseSweepFilter(query string) (SweepFilter, error) { return sweep.ParseFilter(query) }
+
+// ExpandSweep materializes the filter's shard of the scenario space:
+// the enumerated specs the filter matches, in canonical order, with
+// the options' scale overrides applied and per-spec seeds split from
+// the base seed — exactly the specs Sweep would run.
+func ExpandSweep(f SweepFilter, o SweepOptions) ([]ChannelSpec, error) { return sweep.Expand(f, o) }
+
+// Sweep expands the filter through the enumerated scenario space and
+// transmits every matching spec, aggregating the results into a
+// report. The filter is a parsed SweepFilter (ParseSweepFilter for the
+// query-string form; the zero value sweeps everything), matching
+// ExpandSweep so a query is parsed exactly once. Each spec's seed is
+// split deterministically from o.Seed by the spec's identity (the same
+// rng.SplitSeed discipline the experiment runner uses), so the report
+// is a pure function of (filter, options) — never of scheduling or
+// worker count.
+func Sweep(f SweepFilter, o SweepOptions) (SweepReport, error) {
+	return SweepCtx(context.Background(), f, o, nil)
+}
+
+// SweepCtx is Sweep with cooperative cancellation and row streaming:
+// emit, when non-nil, is called once per row in canonical enumeration
+// order as soon as every earlier row has landed. Cancelling ctx
+// unwinds in-flight transmissions at their next checkpoint and skips
+// unstarted specs; the returned report is partial, with Err set on the
+// rows that did not complete and completed rows byte-identical to an
+// uncancelled sweep's.
+func SweepCtx(ctx context.Context, f SweepFilter, o SweepOptions, emit func(SweepRow)) (SweepReport, error) {
+	return sweep.Run(ctx, f, o, nil, emit)
+}
 
 // mechanismFor maps the legacy constructor kind onto a spec mechanism.
 func mechanismFor(kind AttackKind) Mechanism {

@@ -217,3 +217,51 @@ func TestFacadeFingerprint(t *testing.T) {
 		t.Error("want 10 Geekbench workloads")
 	}
 }
+
+func TestFacadeSweep(t *testing.T) {
+	// A small shard through the public one-call path: the slow-switch
+	// channels, whose rows must match spec-level transmissions.
+	f, err := leaky.ParseSweepFilter("mech=slowswitch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []leaky.SweepRow
+	report, err := leaky.SweepCtx(context.Background(), f,
+		leaky.SweepOptions{Bits: 8, CalibBits: 4, Workers: 2}, func(r leaky.SweepRow) {
+			streamed = append(streamed, r)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Specs != len(leaky.Models()) || report.Completed != report.Specs {
+		t.Fatalf("sweep completed %d/%d, want one row per model", report.Completed, report.Specs)
+	}
+	if len(streamed) != report.Specs {
+		t.Fatalf("emit saw %d rows, want %d", len(streamed), report.Specs)
+	}
+	for i, row := range report.Rows {
+		if streamed[i] != row {
+			t.Errorf("streamed row %d differs from the report's", i)
+		}
+		res, err := row.Spec.Transmit(leaky.Alternating(report.Bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.RateKbps != res.RateKbps || row.ErrorRate != res.ErrorRate {
+			t.Errorf("row %s diverges from a direct transmit", row.Canonical)
+		}
+	}
+	// The shard the report ran is the one ExpandSweep names.
+	specs, err := leaky.ExpandSweep(f, leaky.SweepOptions{Bits: 8, CalibBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cs := range specs {
+		if report.Rows[i].Spec != cs {
+			t.Errorf("expanded spec %d differs from the report row: %s vs %s", i, cs, report.Rows[i].Spec)
+		}
+	}
+	if _, err := leaky.ParseSweepFilter("color=red"); err == nil {
+		t.Error("ParseSweepFilter accepted a malformed query")
+	}
+}
