@@ -37,7 +37,7 @@ not json at all
 }
 
 func TestLoadOfCommittedBaseline(t *testing.T) {
-	res, err := load("../../.github/bench/BENCH_baseline.json")
+	res, err := load("../../BENCH_baseline.json")
 	if err != nil {
 		t.Fatalf("committed baseline unreadable: %v", err)
 	}

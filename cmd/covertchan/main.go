@@ -7,6 +7,7 @@
 //	covertchan -model "Xeon E-2288G" -mechanism misalignment -text HELLO
 //	covertchan -mechanism eviction -threading mt -d 3 -text HI
 //	covertchan -model "Xeon E-2174G" -sgx -stealthy -text SECRET
+//	covertchan -threading mt -defense partition -text HI
 //	covertchan -list          # print the valid scenario space for -model
 //
 // The historical -attack and -variant flags remain as deprecated
@@ -54,6 +55,7 @@ func main() {
 		sink      = flag.String("sink", "", "timing | power (default timing)")
 		sgxOn     = flag.Bool("sgx", false, "put the sender inside an SGX enclave")
 		stealthy  = flag.Bool("stealthy", false, "bit 0 executes decoy blocks instead of nothing")
+		def       = flag.String("defense", "", "run the channel against a defended model: none | nosmt | eqpaths | norapl | partition (default none)")
 		d         = flag.Int("d", 0, "receiver way count d (0 means the mechanism default)")
 		p         = flag.Int("p", 0, "per-bit repetition parameter (0 means the mechanism default)")
 		calib     = flag.Int("calib", 0, "calibration-preamble bits (0 means the default 40)")
@@ -74,6 +76,7 @@ func main() {
 		Sink:      leaky.ChannelSink(*sink),
 		SGX:       *sgxOn,
 		Stealthy:  *stealthy,
+		Defense:   *def,
 		D:         *d,
 		P:         *p,
 		CalibBits: *calib,

@@ -14,6 +14,7 @@
 //	leakysweep -maxp 2000 -calib 6                # reduced-scale full space
 //	leakysweep -list                              # print the shard, run nothing
 //	leakysweep -json -progress                    # report JSON, progress on stderr
+//	leakysweep -advisory "Gold 6226" -maxp 2000   # render the model's security advisory
 //
 // The filter grammar is comma-separated key=value clauses: globs for
 // model/mech/thread/sink (case-insensitive), true|false for
@@ -49,6 +50,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "print the report as JSON instead of text")
 		progress = flag.Bool("progress", false, "print per-spec completions on stderr as they land")
 		list     = flag.Bool("list", false, "print the expanded shard and exit without running")
+		advisory = flag.String("advisory", "", "sweep the named model across every defense and render its security advisory (overrides -filter)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var advModel leaky.Model
+	if *advisory != "" {
+		m, ok := leaky.ModelByName(*advisory)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "leakysweep: unknown model %q (Table I names)\n", *advisory)
+			os.Exit(2)
+		}
+		advModel, f = m, leaky.AdvisorySweepFilter(m)
 	}
 	o := leaky.SweepOptions{Bits: *bits, Seed: *seed, CalibBits: *calib, MaxP: *maxp, Workers: *workers}
 	if *list {
@@ -89,6 +100,29 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *advisory != "" {
+		if report.Completed < report.Specs {
+			fmt.Fprintf(os.Stderr, "leakysweep: cancelled with %d of %d specs incomplete; no advisory\n",
+				report.Specs-report.Completed, report.Specs)
+			os.Exit(1)
+		}
+		adv, err := leaky.NewAdvisory(report, advModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *jsonOut {
+			blob, err := json.MarshalIndent(adv, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("%s\n", blob)
+		} else {
+			fmt.Print(adv.Render())
+		}
+		return
 	}
 	if *jsonOut {
 		blob, err := json.MarshalIndent(report, "", "  ")

@@ -1,0 +1,50 @@
+package leaky_test
+
+import (
+	"testing"
+
+	leaky "repro"
+)
+
+// TestDefenseShimsByteIdentical proves the deprecated defense helpers
+// are byte-identical to the new registry/spec path at two seeds, so
+// callers can migrate in either direction without results moving.
+func TestDefenseShimsByteIdentical(t *testing.T) {
+	m := leaky.Gold6226()
+	const bits = 24
+	for _, seed := range []uint64{1, 2} {
+		// Residual error: the deprecated probe against a hand-defended
+		// model vs the same stealthy eviction scenario declared through
+		// the spec path with the registered defense applied by Build.
+		// CalibBits 30 is the deprecated helper's frozen preamble length.
+		old := leaky.DefenseResidualError(leaky.EqualizePaths(m), bits, seed)
+		res, err := leaky.ChannelSpec{
+			Mechanism: leaky.MechanismEviction,
+			Stealthy:  true,
+			Defense:   leaky.DefenseEqualizePaths,
+			Seed:      seed,
+			CalibBits: 30,
+		}.Transmit(leaky.Alternating(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ErrorRate != old {
+			t.Errorf("seed %d: spec-path residual %v != deprecated helper %v", seed, res.ErrorRate, old)
+		}
+
+		// Performance cost: the deprecated two-model form vs the
+		// registered-defense form.
+		d, err := leaky.ResolveDefense(leaky.DefenseEqualizePaths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := leaky.DefenseCost(m, leaky.EqualizePaths(m), seed), leaky.DefensePerformanceCost(m, d, seed); a != b {
+			t.Errorf("seed %d: DefenseCost %v != DefensePerformanceCost %v", seed, a, b)
+		}
+
+		// The deprecated model transforms are the registry's transforms.
+		if leaky.EqualizePaths(m) != d.Apply(m) {
+			t.Errorf("seed-independent: EqualizePaths diverges from the registry transform")
+		}
+	}
+}

@@ -114,7 +114,7 @@ func run(base string) error {
 	// 4. A declared covert-channel scenario: POST a ChannelSpec and the
 	// daemon simulates it once, then serves the cached bytes to every
 	// identical request — the whole attack space is servable, not just
-	// the 14 frozen artifacts (GET /v1/channels lists the valid space).
+	// the 16 frozen artifacts (GET /v1/channels lists the valid space).
 	specBody := `{"spec": {"model": "Xeon E-2288G", "mechanism": "misalignment", "stealthy": true}, "opts": {"bits": 40}}`
 	for attempt := 1; attempt <= 2; attempt++ {
 		start := time.Now()

@@ -63,6 +63,9 @@ func NewCore(m Model, seed uint64) *Core {
 		TSC:      timer.NewTSC(r.Fork(1), m.TimerSigmaAbs, m.TimerSigmaRel),
 		R:        r,
 	}
+	if m.StaticDSBPartition {
+		c.FE.SetPartitioned(true)
+	}
 	return c
 }
 
@@ -116,8 +119,10 @@ func (c *Core) Step() {
 
 	// SMT partition management (Section IV-B): the DSB partitions while
 	// both threads are active and reverts once one side has been quiet
-	// for the hysteresis window.
-	if c.Model.HyperThreading {
+	// for the hysteresis window. A statically partitioned DSB (the
+	// Section XII defense) never transitions, so there is nothing to
+	// manage — and no transition timing to leak.
+	if c.Model.HyperThreading && !c.Model.StaticDSBPartition {
 		if c.cur[0] != nil && c.cur[1] != nil {
 			c.lastBoth = c.cycle
 			c.FE.SetPartitioned(true)

@@ -73,6 +73,12 @@ type Model struct {
 	// PartitionHysteresis is how long (cycles) after a sibling thread
 	// goes quiet the DSB stays partitioned.
 	PartitionHysteresis uint64
+	// StaticDSBPartition pins the DSB in its partitioned configuration
+	// from reset, removing the dynamic partition/revert transitions the
+	// MT eviction channel's signal rides on. It is the frontend-path
+	// partitioning defense of Section XII, not a Table I machine
+	// configuration; defense.Partition sets it.
+	StaticDSBPartition bool
 
 	// EnclaveTransitionCycles is the cost of one SGX enclave entry or
 	// exit (Section VIII).

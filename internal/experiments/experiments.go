@@ -11,11 +11,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/channel"
 	"repro/internal/cpu"
+	"repro/internal/defense"
 	"repro/internal/fingerprint"
 	"repro/internal/isa"
 	"repro/internal/power"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/spec"
 	"repro/internal/spectre"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/ucode"
 	"repro/internal/victim"
 )
@@ -197,7 +200,8 @@ func TableII(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	o = o.Normalize()
 	models := []cpu.Model{cpu.Gold6226(), cpu.XeonE2174G(), cpu.XeonE2286G()}
 	specs := spec.Filter(spec.Enumerate(models...), func(s spec.ChannelSpec) bool {
-		return s.Threading == spec.ThreadingMT && s.Mechanism == spec.MechanismEviction && !s.SGX
+		return s.Threading == spec.ThreadingMT && s.Mechanism == spec.MechanismEviction && !s.SGX &&
+			s.Defense == defense.DefenseNone
 	})
 	patterns := []struct {
 		name string
@@ -249,7 +253,8 @@ func TableIII(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	// scenario space; the canonical enumeration order is the paper's row
 	// order (per mechanism: non-MT stealthy, non-MT fast, then MT).
 	specs := spec.Filter(spec.Enumerate(cpu.Models()...), func(s spec.ChannelSpec) bool {
-		return s.Sink == spec.SinkTiming && !s.SGX && s.Mechanism != spec.MechanismSlowSwitch
+		return s.Sink == spec.SinkTiming && !s.SGX && s.Mechanism != spec.MechanismSlowSwitch &&
+			s.Defense == defense.DefenseNone
 	})
 	for _, cs := range specs {
 		if err := rc.Step("channel matrix", len(results), len(specs)); err != nil {
@@ -275,7 +280,7 @@ func TableIV(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	fmt.Fprintf(&b, "Table IV: Non-MT Slow-Switch-Based channel (alternating message)\n")
 	fmt.Fprintf(&b, "%-14s %12s %10s\n", "Model", "Rate (Kbps)", "Error")
 	specs := spec.Filter(spec.Enumerate(cpu.Gold6226(), cpu.XeonE2288G()), func(s spec.ChannelSpec) bool {
-		return s.Mechanism == spec.MechanismSlowSwitch
+		return s.Mechanism == spec.MechanismSlowSwitch && s.Defense == defense.DefenseNone
 	})
 	for _, cs := range specs {
 		cs.Seed = o.Seed
@@ -303,7 +308,7 @@ func TableV(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	fmt.Fprintf(&b, "Table V: Non-MT power channels, Gold 6226, d=6 (RAPL receiver)\n")
 	fmt.Fprintf(&b, "%-26s %12s %10s\n", "Channel", "Rate (Kbps)", "Error")
 	specs := spec.Filter(spec.Enumerate(cpu.Gold6226()), func(s spec.ChannelSpec) bool {
-		return s.Sink == spec.SinkPower
+		return s.Sink == spec.SinkPower && s.Defense == defense.DefenseNone
 	})
 	for _, cs := range specs {
 		cs.Seed = o.Seed
@@ -335,7 +340,7 @@ func TableVI(rc RunCtx, o Opts) ([]channel.Result, string, error) {
 	// The SGX slice of the enumerated scenario space, with the paper's
 	// shorter calibration preambles (enclave bits are expensive).
 	specs := spec.Filter(spec.Enumerate(models...), func(s spec.ChannelSpec) bool {
-		return s.SGX
+		return s.SGX && s.Defense == defense.DefenseNone
 	})
 	for _, cs := range specs {
 		if err := rc.Step("SGX matrix", len(results), len(specs)); err != nil {
@@ -529,6 +534,73 @@ func Figure11(rc RunCtx, o Opts) (map[string][]float64, string, error) {
 			w.Name, stats.Mean(tr), stats.Min(tr), stats.Max(tr), stats.StdDev(tr))
 	}
 	return traces, b.String(), nil
+}
+
+// TableXII reproduces the Section XII defense ablation as an attack x
+// defense residual matrix on the Gold 6226: the model's whole scenario
+// space — every mechanism, threading, sink, and registered defense —
+// swept at a reduced scale (short calibration, the power p clamped) and
+// aggregated per (mechanism x defense) cell. Each cell's key is a
+// filter query pasteable into leakysweep or POST /v1/sweeps.
+func TableXII(rc RunCtx, o Opts) (sweep.Report, string, error) {
+	o = o.Normalize()
+	bits := o.Bits / 2
+	if bits < 12 {
+		bits = 12
+	}
+	f := sweep.AdvisoryFilter(cpu.Gold6226().Name)
+	so := sweep.Options{Bits: bits, Seed: o.Seed, CalibBits: 6, MaxP: 2000}
+	specs, err := sweep.Expand(f, so)
+	if err != nil {
+		return sweep.Report{}, "", err
+	}
+	done := 0
+	run := func(_ context.Context, cs spec.ChannelSpec, b int) (channel.Result, error) {
+		// Serial sweep (Workers unset): done counts monotonically, and rc
+		// threads both the coarse per-spec checkpoint and the channel's
+		// own per-bit progress/cancellation.
+		if err := rc.Step("defense ablation", done, len(specs)); err != nil {
+			return channel.Result{}, err
+		}
+		done++
+		return cs.TransmitCtx(rc, channel.Alternating(b))
+	}
+	rep := sweep.RunSpecs(rc.Context(), f, so, specs, run, nil)
+	if rep.Completed != rep.Specs {
+		if err := rc.Err(); err != nil {
+			return sweep.Report{}, "", err
+		}
+		for _, row := range rep.Rows {
+			if row.Err != "" {
+				return sweep.Report{}, "", fmt.Errorf("defense ablation: %s: %s", row.Canonical, row.Err)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section XII: defense ablation, attack x defense residual matrix (Gold 6226)\n")
+	fmt.Fprintf(&b, "%-40s %3s %12s %10s %15s\n", "Cell", "n", "Rate (Kbps)", "Error", "Residual (Kbps)")
+	for _, c := range rep.Matrix {
+		fmt.Fprintf(&b, "%-40s %3d %12.2f %9.2f%% %15.2f\n",
+			c.Key, c.N, c.MeanRate, 100*c.MeanErr, c.ResidualKbps)
+	}
+	return rep, b.String(), nil
+}
+
+// AdvisoryXII renders the Gold 6226 security advisory (Section XII):
+// the TableXII defense-ablation sweep reduced to affected
+// configurations, per-mitigation residual capacity and performance
+// cost, and a recommended fix. The serving daemon exposes the same
+// rendering for every model at GET /v1/advisories/{model}.
+func AdvisoryXII(rc RunCtx, o Opts) (sweep.Advisory, string, error) {
+	rep, _, err := TableXII(rc, o)
+	if err != nil {
+		return sweep.Advisory{}, "", err
+	}
+	adv, err := sweep.NewAdvisory(rep, cpu.Gold6226())
+	if err != nil {
+		return sweep.Advisory{}, "", err
+	}
+	return adv, adv.Render(), nil
 }
 
 // Figure12Data pairs the two distance studies for structured output.

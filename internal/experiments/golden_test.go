@@ -36,6 +36,8 @@ var goldenArtifacts = []struct {
 	{"tableV", true},
 	{"tableVI", true},
 	{"figure8", true},
+	{"tableXII", true},
+	{"advisoryXII", true},
 }
 
 // TestGoldenRenderings pins the rendered bytes of Tables II-VI and

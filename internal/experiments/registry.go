@@ -167,5 +167,7 @@ var Default = sync.OnceValue(func() *Registry {
 				}
 				return Figure12Data{CNN: cnn, Geekbench: gb}, s, nil
 			}},
+		Artifact{Name: "tableXII", Ref: "Section XII", Desc: "defense ablation matrix", Run: wrap(TableXII)},
+		Artifact{Name: "advisoryXII", Ref: "Section XII", Desc: "Gold 6226 security advisory", Run: wrap(AdvisoryXII)},
 	)
 })

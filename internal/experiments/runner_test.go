@@ -26,8 +26,8 @@ func fastArtifacts(t *testing.T) []Artifact {
 
 func TestDefaultCatalog(t *testing.T) {
 	reg := Default()
-	if reg.Len() != 14 {
-		t.Fatalf("catalog has %d artifacts, want 14", reg.Len())
+	if reg.Len() != 16 {
+		t.Fatalf("catalog has %d artifacts, want 16", reg.Len())
 	}
 	for _, a := range reg.Artifacts() {
 		if a.Name == "" || a.Ref == "" || a.Desc == "" || a.Run == nil {
@@ -54,10 +54,10 @@ func TestSelect(t *testing.T) {
 		patterns []string
 		want     int
 	}{
-		{[]string{"all"}, 14},
-		{[]string{"table*"}, 7},
+		{[]string{"all"}, 16},
+		{[]string{"table*"}, 8},
 		{[]string{"figure*"}, 7},
-		{[]string{"TABLE*", "tableII"}, 7}, // dedup, case-insensitive glob
+		{[]string{"TABLE*", "tableII"}, 8}, // dedup, case-insensitive glob
 		{[]string{"figure1?"}, 3},          // figure10, figure11, figure12
 		{[]string{"tableI"}, 1},            // exact match, not a tableI* prefix
 	} {

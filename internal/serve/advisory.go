@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/channel"
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// Advisory scale defaults. An advisory sweeps the model's whole
+// scenario space across every defense, so the defaults trade a little
+// fidelity for a response in seconds rather than minutes: the paper
+// scales remain reachable with ?calib= and ?maxp=0 (spec defaults).
+const (
+	advisoryCalibDefault = 6
+	advisoryMaxPDefault  = 2000
+)
+
+// advisoryKey is the cache/singleflight identity of one rendered
+// advisory: the model plus every knob the underlying sweep depends on.
+// The "advisory-v1|" prefix keeps the namespace disjoint from artifact
+// ("v1|") and channel-run ("chan-v2|") keys.
+func advisoryKey(model string, bits int, seed uint64, calib, maxp int) string {
+	return fmt.Sprintf("advisory-v1|model=%s|bits=%d|seed=%d|calib=%d|maxp=%d",
+		model, bits, seed, calib, maxp)
+}
+
+// handleAdvisory renders GET /v1/advisories/{model}: a defense-spanning
+// sweep of the model's scenario space reduced to a machine-readable
+// security advisory (sweep.Advisory as JSON, or its TFV-style text with
+// ?format=text). Advisories are pure functions of (model, bits, seed,
+// calib, maxp), so they cache forever under that key and concurrent
+// identical requests collapse into one sweep; the sweep itself rides
+// the per-spec channel cache, so an advisory whose rows are already
+// cached — or a repeat of an advisory — performs zero new simulations.
+func (s *Server) handleAdvisory(w http.ResponseWriter, r *http.Request) {
+	m, err := spec.ChannelSpec{Model: r.PathValue("model")}.ResolveModel()
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	o, err := s.requestOpts(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "text" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json|text)", format))
+		return
+	}
+	calib, err := advisoryScale(r, "calib", advisoryCalibDefault)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	maxp, err := advisoryScale(r, "maxp", advisoryMaxPDefault)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if o.Bits > maxBits {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bits=%d out of range (want 1..%d)", o.Bits, maxBits))
+		return
+	}
+	f := sweep.AdvisoryFilter(m.Name)
+	so := sweep.Options{Bits: o.Bits, Seed: o.Seed, CalibBits: calib, MaxP: maxp, Workers: s.workers}
+	// Expand up front: a bad ?calib= is a 400 before the cache, flight
+	// group, or queue see the request.
+	specs, err := sweep.Expand(f, so)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	key := advisoryKey(m.Name, o.Bits, o.Seed, calib, maxp)
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	res, err := retryBusy(ctx, func() (experiments.Result, error) {
+		return s.advisoryResult(ctx, key, f, so, specs, m)
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) && r.Context().Err() == nil {
+			s.fail(w, http.StatusServiceUnavailable, errors.New("run cancelled (server shutting down)"))
+			return
+		}
+		s.failErr(w, err)
+		return
+	}
+	if format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.Rendered)
+		return
+	}
+	s.writeJSON(w, res)
+}
+
+// advisoryResult is the cache-aware core of the advisory endpoint:
+// cache probe, flight group, then a defense-spanning sweep whose rows
+// go through the same per-spec channel cache as POST /v1/sweeps and
+// /v1/channels/run — identical rows collapse across all three
+// endpoints. The sweep counts as one job against the queue, claimed by
+// the flight leader (so joiners may see ErrBusy; callers retryBusy).
+func (s *Server) advisoryResult(ctx context.Context, key string, f sweep.Filter, so sweep.Options, specs []spec.ChannelSpec, m cpu.Model) (experiments.Result, error) {
+	if res, hit := s.cache.Get(key); hit {
+		s.metrics.CacheHits.Add(1)
+		return res, nil
+	}
+	res, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) (experiments.Result, error) {
+		if res, hit := s.cache.Get(key); hit {
+			s.metrics.CacheHits.Add(1)
+			return res, nil
+		}
+		if !s.admit(1) {
+			return experiments.Result{}, ErrBusy
+		}
+		defer s.release(1)
+		run := func(ctx context.Context, cs spec.ChannelSpec, bits int) (channel.Result, error) {
+			res, err := retryBusy(ctx, func() (experiments.Result, error) {
+				return s.channelResult(ctx, cs, bits, false)
+			})
+			if err != nil {
+				return channel.Result{}, err
+			}
+			tres, ok := res.Data.(channel.Result)
+			if !ok {
+				return channel.Result{}, fmt.Errorf("serve: cached %q is not a channel result", res.Name)
+			}
+			return tres, nil
+		}
+		rep := sweep.RunSpecs(fctx, f, so, specs, run, nil)
+		if rep.Completed != rep.Specs {
+			// The sweep was cut short (shutdown, or abandonment under
+			// CancelAbandoned): an advisory over a partial baseline would
+			// be misleading, so surface the cancellation instead.
+			if err := fctx.Err(); err != nil {
+				return experiments.Result{}, err
+			}
+			for _, row := range rep.Rows {
+				if row.Err != "" {
+					return experiments.Result{}, fmt.Errorf("serve: advisory sweep incomplete: %s: %s", row.Canonical, row.Err)
+				}
+			}
+		}
+		adv, err := sweep.NewAdvisory(rep, m)
+		if err != nil {
+			return experiments.Result{}, err
+		}
+		res := experiments.Result{
+			Name:     "advisory-" + m.Name,
+			Ref:      "Section XII",
+			Desc:     adv.Title,
+			Seed:     rep.Seed,
+			Rendered: adv.Render(),
+			Data:     adv,
+			// Elapsed stays zero: advisories are pure functions of
+			// (model, bits, seed, calib, maxp).
+		}
+		s.cache.Add(key, res)
+		return res, nil
+	})
+	if shared && err == nil {
+		s.metrics.Deduplicated.Add(1)
+	}
+	return res, err
+}
+
+// advisoryScale parses a non-negative integer scale override (?calib=,
+// ?maxp=), 0 meaning "spec defaults"; absence takes the advisory
+// default.
+func advisoryScale(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s %q: want an integer >= 0", name, v)
+	}
+	return n, nil
+}

@@ -59,7 +59,7 @@ func retryBusy(ctx context.Context, fn func() (experiments.Result, error)) (expe
 
 // channelRunKey is the cache/singleflight identity of one channel run:
 // the spec's own versioned canonical key plus the message length. The
-// "chan-v1|" prefix keeps the namespace disjoint from the artifact
+// "chan-v2|" prefix keeps the namespace disjoint from the artifact
 // keys' "v1|".
 func channelRunKey(cs spec.ChannelSpec, bits int) string {
 	return fmt.Sprintf("%s|bits=%d", cs.CacheKey(), bits)

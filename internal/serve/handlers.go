@@ -44,6 +44,11 @@ import (
 //	                                  {...}, "calib": n, "maxp": n};
 //	                                  NDJSON rows in canonical order
 //	                                  plus a final {"report": ...} line
+//	GET /v1/advisories/{model}        defense ablation rendered as a
+//	                                  security advisory for the model;
+//	                                  ?format=json|text, ?seed=, ?bits=,
+//	                                  ?calib=, ?maxp= scale the
+//	                                  underlying defense-spanning sweep
 //	GET /healthz                      liveness probe (503 once the job
 //	                                  queue has been full for more than
 //	                                  one poll interval)
@@ -56,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/channels", s.handleChannels)
 	mux.HandleFunc("POST /v1/channels/run", s.handleChannelRun)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
+	mux.HandleFunc("GET /v1/advisories/{model}", s.handleAdvisory)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

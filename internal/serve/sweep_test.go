@@ -315,6 +315,39 @@ func TestChannelsFilterGrammar(t *testing.T) {
 	if goldMT == 0 || goldMT >= gold || goldMT >= mt {
 		t.Errorf("composed alias+filter matched %d (gold %d, mt %d)", goldMT, gold, mt)
 	}
+	// The defense axis is a first-class filter key: each defended slice
+	// is a strict subset, every entry in it carries the defense column
+	// (both in the structured spec and the canonical string), and the
+	// per-defense slices partition the space.
+	nosmt := count("/v1/channels?filter=defense%3Dnosmt")
+	if nosmt == 0 || nosmt >= all {
+		t.Errorf("defense=nosmt matched %d of %d", nosmt, all)
+	}
+	{
+		code, body := get(t, ts, "/v1/channels?filter=defense%3Dnosmt")
+		if code != 200 {
+			t.Fatalf("GET defense=nosmt slice: status %d: %s", code, body)
+		}
+		var entries []channelEntry
+		if err := json.Unmarshal(body, &entries); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Spec.Defense != "nosmt" {
+				t.Fatalf("defense=nosmt slice returned spec with defense %q", e.Spec.Defense)
+			}
+			if !strings.Contains(e.Canonical, "defense=nosmt") {
+				t.Fatalf("canonical %q missing its defense clause", e.Canonical)
+			}
+		}
+	}
+	perDefense := 0
+	for _, d := range []string{"none", "nosmt", "eqpaths", "norapl", "partition"} {
+		perDefense += count("/v1/channels?filter=defense%3D" + d)
+	}
+	if perDefense != all {
+		t.Errorf("per-defense slices sum to %d, want the whole space %d", perDefense, all)
+	}
 	// An impossible slice is an empty list, not an error.
 	if n := count("/v1/channels?filter=sink%3Dpower%2Csgx%3Dtrue"); n != 0 {
 		t.Errorf("power+SGX slice has %d entries, want 0", n)
@@ -325,5 +358,11 @@ func TestChannelsFilterGrammar(t *testing.T) {
 	}
 	if code, body := get(t, ts, "/v1/channels?filter=d%3D6..2"); code != 400 {
 		t.Errorf("inverted range: status %d: %s", code, body)
+	}
+	// A defense glob matching no registered defense is a 400 before any
+	// enumeration, not an empty slice: a typoed defense name should not
+	// read as "this model needs no mitigations".
+	if code, body := get(t, ts, "/v1/channels?filter=defense%3Dbogus"); code != 400 {
+		t.Errorf("unknown defense: status %d: %s", code, body)
 	}
 }

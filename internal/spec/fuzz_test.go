@@ -16,17 +16,18 @@ import (
 func FuzzChannelSpec(f *testing.F) {
 	for _, s := range Enumerate(cpu.Models()...) {
 		f.Add(s.Model, string(s.Mechanism), string(s.Threading), string(s.Sink),
-			s.SGX, s.Stealthy, s.Contended, s.D, s.M, s.P, s.CalibBits, s.Seed)
+			s.SGX, s.Stealthy, s.Contended, s.Defense, s.D, s.M, s.P, s.CalibBits, s.Seed)
 	}
 	// A few adversarial shapes the enumeration never produces.
-	f.Add("", "", "", "", false, false, false, 0, 0, 0, 0, uint64(0))
-	f.Add("Pentium", "voodoo", "smt4", "acoustic", true, true, true, -1, 99, -7, 1, uint64(42))
+	f.Add("", "", "", "", false, false, false, "", 0, 0, 0, 0, uint64(0))
+	f.Add("Pentium", "voodoo", "smt4", "acoustic", true, true, true, "tinfoil", -1, 99, -7, 1, uint64(42))
+	f.Add("Gold 6226", "eviction", "mt", "timing", false, false, false, "nosmt", 6, 0, 10, 40, uint64(1))
 	f.Fuzz(func(t *testing.T, model, mech, thread, sink string,
-		sgx, stealthy, contended bool, d, m, p, calib int, seed uint64) {
+		sgx, stealthy, contended bool, def string, d, m, p, calib int, seed uint64) {
 		s := ChannelSpec{
 			Model: model, Mechanism: Mechanism(mech), Threading: Threading(thread),
 			Sink: Sink(sink), SGX: sgx, Stealthy: stealthy, Contended: contended,
-			D: d, M: m, P: p, CalibBits: calib, Seed: seed,
+			Defense: def, D: d, M: m, P: p, CalibBits: calib, Seed: seed,
 		}
 		n := s.Normalize()
 		if n != n.Normalize() {

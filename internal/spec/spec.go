@@ -26,6 +26,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/cmdutil"
 	"repro/internal/cpu"
+	"repro/internal/defense"
 	"repro/internal/runctx"
 	"repro/internal/sgx"
 )
@@ -116,6 +117,13 @@ type ChannelSpec struct {
 	// Contended makes the MT eviction sender spin delivery-hungry
 	// between steps, the protocol the paper's Table II d=1 rows need.
 	Contended bool `json:"contended,omitempty"`
+	// Defense names the Section XII countermeasure applied to the model
+	// before the channel is built (defense.Names lists them); empty
+	// means "none", the undefended baseline. Validate rejects
+	// combinations the defense makes unmeasurable (nosmt invalidates MT
+	// specs, norapl is a no-op rejection for timing sinks, partition
+	// needs a hyper-threaded model).
+	Defense string `json:"defense,omitempty"`
 	// D is the receiver way count d; 0 means the mechanism default
 	// (6 eviction, 5 misalignment).
 	D int `json:"d,omitempty"`
@@ -143,6 +151,16 @@ func (s ChannelSpec) kind() attack.Kind {
 	return attack.Eviction
 }
 
+// scenario projects the spec onto the facets a defense applicability
+// predicate looks at, judged against the undefended model m.
+func (s ChannelSpec) scenario(m cpu.Model) defense.Scenario {
+	return defense.Scenario{
+		MT:        s.Threading == ThreadingMT,
+		PowerSink: s.Sink == SinkPower,
+		ModelHT:   m.HyperThreading,
+	}
+}
+
 // Normalize returns the spec with every unset field replaced by its
 // default, so any two specs describing the same scenario compare equal
 // and share one canonical encoding. The model name is canonicalized to
@@ -162,6 +180,11 @@ func (s ChannelSpec) Normalize() ChannelSpec {
 	}
 	if s.Sink == "" {
 		s.Sink = SinkTiming
+	}
+	if s.Defense == "" {
+		s.Defense = defense.DefenseNone
+	} else if d, ok := defense.Lookup(s.Defense); ok {
+		s.Defense = d.Name
 	}
 	if s.Mechanism != MechanismSlowSwitch {
 		if s.D == 0 {
@@ -246,6 +269,17 @@ func (s ChannelSpec) ValidateFor(m cpu.Model) error {
 	case SinkTiming, SinkPower:
 	default:
 		return fmt.Errorf("spec: unknown sink %q (timing|power)", s.Sink)
+	}
+	d, err := defense.Resolve(s.Defense)
+	if err != nil {
+		return fmt.Errorf("spec: %v", err)
+	}
+	// Applicability is judged against the undefended model: a defense
+	// that removes the scenario's substrate (nosmt x MT) or cannot
+	// interact with its sink (norapl x timing) is a rejection, not a
+	// zero-residual row.
+	if err := d.Applies(s.scenario(m)); err != nil {
+		return fmt.Errorf("spec: %v", err)
 	}
 	maxP := maxIterP
 	switch {
@@ -345,6 +379,12 @@ func (s ChannelSpec) Build(m cpu.Model) channel.BitChannel {
 		panic(err.Error())
 	}
 	s = s.Normalize()
+	// The defense transform defends the model the channel is built on;
+	// DefenseNone's transform is the identity, so an undefended spec
+	// builds on exactly the model it was given.
+	if d, ok := defense.Lookup(s.Defense); ok {
+		m = d.Apply(m)
+	}
 	switch {
 	case s.Mechanism == MechanismSlowSwitch:
 		cfg := attack.DefaultSlowSwitch(m)
@@ -390,8 +430,8 @@ func (s ChannelSpec) Identity() string {
 
 // identityNorm renders the identity of an already-normalized spec.
 func (s ChannelSpec) identityNorm() string {
-	return fmt.Sprintf("model=%s,mech=%s,thread=%s,sink=%s,sgx=%t,stealthy=%t,contended=%t,d=%d,m=%d,p=%d,calib=%d",
-		s.Model, s.Mechanism, s.Threading, s.Sink, s.SGX, s.Stealthy, s.Contended, s.D, s.M, s.P, s.CalibBits)
+	return fmt.Sprintf("model=%s,mech=%s,thread=%s,sink=%s,sgx=%t,stealthy=%t,contended=%t,defense=%s,d=%d,m=%d,p=%d,calib=%d",
+		s.Model, s.Mechanism, s.Threading, s.Sink, s.SGX, s.Stealthy, s.Contended, s.Defense, s.D, s.M, s.P, s.CalibBits)
 }
 
 // String returns the canonical encoding: the normalized fields in a
@@ -407,9 +447,11 @@ func (s ChannelSpec) String() string {
 // Specs are normalized first, so every spelling of one scenario maps to
 // one entry; channels are pure functions of their spec, so equal keys
 // imply bit-identical transmissions. Bump the version prefix whenever a
-// field's meaning changes.
+// field's meaning changes — v2 added the defense clause to the
+// identity, so v1 keys (which never named a defense) can never collide
+// with defended runs.
 func (s ChannelSpec) CacheKey() string {
-	return "chan-v1|" + s.String()
+	return "chan-v2|" + s.String()
 }
 
 // Transmit resolves the spec's model, builds the channel, and sends
@@ -434,29 +476,35 @@ func (s ChannelSpec) TransmitCtx(rc runctx.Ctx, message string) (channel.Result,
 }
 
 // Enumerate yields every valid scenario for the given models at the
-// paper-default protocol parameters, in canonical order: mechanism,
-// then threading, then sink, then plain-before-SGX, then
+// paper-default protocol parameters, in canonical order: defense (the
+// undefended baseline first, then registry order), then mechanism, then
+// threading, then sink, then plain-before-SGX, then
 // stealthy-before-fast, then model — the row order of the paper's
-// channel tables. Every returned spec is normalized and valid for its
-// model.
+// channel tables. Keeping the defense axis outermost means the
+// defense-none block is exactly the pre-defense enumeration, so every
+// paper-table row keeps its historical index. Every returned spec is
+// normalized and valid for its model.
 func Enumerate(models ...cpu.Model) []ChannelSpec {
 	var specs []ChannelSpec
-	for _, mech := range []Mechanism{MechanismEviction, MechanismMisalignment, MechanismSlowSwitch} {
-		for _, thread := range []Threading{ThreadingNonMT, ThreadingMT} {
-			for _, sink := range []Sink{SinkTiming, SinkPower} {
-				for _, sgxOn := range []bool{false, true} {
-					for _, stealthy := range []bool{true, false} {
-						for _, m := range models {
-							s := ChannelSpec{
-								Model:     m.Name,
-								Mechanism: mech,
-								Threading: thread,
-								Sink:      sink,
-								SGX:       sgxOn,
-								Stealthy:  stealthy,
-							}.Normalize()
-							if s.ValidateFor(m) == nil {
-								specs = append(specs, s)
+	for _, d := range defense.Names() {
+		for _, mech := range []Mechanism{MechanismEviction, MechanismMisalignment, MechanismSlowSwitch} {
+			for _, thread := range []Threading{ThreadingNonMT, ThreadingMT} {
+				for _, sink := range []Sink{SinkTiming, SinkPower} {
+					for _, sgxOn := range []bool{false, true} {
+						for _, stealthy := range []bool{true, false} {
+							for _, m := range models {
+								s := ChannelSpec{
+									Model:     m.Name,
+									Mechanism: mech,
+									Threading: thread,
+									Sink:      sink,
+									SGX:       sgxOn,
+									Stealthy:  stealthy,
+									Defense:   d,
+								}.Normalize()
+								if s.ValidateFor(m) == nil {
+									specs = append(specs, s)
+								}
 							}
 						}
 					}

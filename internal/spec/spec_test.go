@@ -9,6 +9,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/channel"
 	"repro/internal/cpu"
+	"repro/internal/defense"
 	"repro/internal/sgx"
 )
 
@@ -90,6 +91,11 @@ func TestValidateRejectsImpossibleCombos(t *testing.T) {
 		{"calib too small", ChannelSpec{CalibBits: 1}, "calib=1 out of range"},
 		{"calib too large", ChannelSpec{CalibBits: 100_000}, "out of range"},
 		{"SGX small p", ChannelSpec{Model: "Xeon E-2174G", SGX: true, P: 10}, "p >= 1000"},
+		{"unknown defense", ChannelSpec{Defense: "tinfoil"}, "unknown defense"},
+		{"nosmt MT", ChannelSpec{Threading: ThreadingMT, Defense: "nosmt"}, "eliminates the MT channels"},
+		{"nosmt without SMT", ChannelSpec{Model: "Xeon E-2288G", Defense: "nosmt"}, "already disabled"},
+		{"norapl timing", ChannelSpec{Defense: "norapl"}, "no-op for timing sinks"},
+		{"partition without SMT", ChannelSpec{Model: "Xeon E-2288G", Defense: "partition"}, "never partitions"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -120,11 +126,16 @@ func TestEnumerate(t *testing.T) {
 	// Per-model valid-scenario counts: a plain HT model has 4 non-MT
 	// timing variants + 2 MT + 1 slow-switch + 2 power = 9; SGX adds 4
 	// enclave non-MT + 2 enclave MT; disabling SMT removes the 2+2 MT.
+	// The defense axis multiplies the space: defense=none keeps the full
+	// per-model count; nosmt keeps the non-MT subset (and drops off the
+	// already-SMT-less E-2288G); eqpaths keeps everything; norapl keeps
+	// only the 2 power variants; partition keeps everything on HT models
+	// and nothing on the E-2288G.
 	counts := map[string]int{
-		"Gold 6226":    9,  // HT, no SGX
-		"Xeon E-2174G": 15, // HT + SGX
-		"Xeon E-2286G": 15, // HT + SGX
-		"Xeon E-2288G": 11, // SGX, no HT
+		"Gold 6226":    36, // 9 none + 7 nosmt + 9 eqpaths + 2 norapl + 9 partition
+		"Xeon E-2174G": 58, // 15 + 11 + 15 + 2 + 15
+		"Xeon E-2286G": 58, // 15 + 11 + 15 + 2 + 15
+		"Xeon E-2288G": 24, // 11 + 0 + 11 + 2 + 0
 	}
 	total := 0
 	for _, m := range cpu.Models() {
@@ -157,9 +168,19 @@ func TestEnumerate(t *testing.T) {
 func TestEnumerateOrderMatchesChannelTables(t *testing.T) {
 	// Table III's row order must fall out of the canonical enumeration
 	// order: per mechanism, non-MT stealthy rows, then fast, then MT.
-	specs := Filter(Enumerate(cpu.Models()...), func(s ChannelSpec) bool {
-		return s.Sink == SinkTiming && !s.SGX && s.Mechanism != MechanismSlowSwitch
+	// The paper tables read the undefended baseline, so the predicate
+	// pins defense=none — and because the defense axis is outermost,
+	// those rows keep their exact historical positions.
+	all := Enumerate(cpu.Models()...)
+	specs := Filter(all, func(s ChannelSpec) bool {
+		return s.Sink == SinkTiming && !s.SGX && s.Mechanism != MechanismSlowSwitch &&
+			s.Defense == defense.DefenseNone
 	})
+	for i, s := range Filter(all, func(s ChannelSpec) bool { return s.Defense == defense.DefenseNone }) {
+		if all[i] != s {
+			t.Fatalf("defense=none block is not the leading slice of the enumeration (index %d: %s)", i, all[i])
+		}
+	}
 	if len(specs) != 22 {
 		t.Fatalf("Table III space has %d specs, want 22", len(specs))
 	}
@@ -182,12 +203,26 @@ func TestEnumerateOrderMatchesChannelTables(t *testing.T) {
 func TestCanonicalEncoding(t *testing.T) {
 	a := ChannelSpec{Model: "gold 6226"}
 	b := ChannelSpec{Model: "Gold 6226", Mechanism: MechanismEviction, Threading: ThreadingNonMT,
-		Sink: SinkTiming, D: 6, P: 10, CalibBits: 40, Seed: 1}
+		Sink: SinkTiming, Defense: "none", D: 6, P: 10, CalibBits: 40, Seed: 1}
 	if a.String() != b.String() || a.CacheKey() != b.CacheKey() {
 		t.Errorf("two spellings of one scenario differ:\n%s\n%s", a, b)
 	}
-	if !strings.HasPrefix(a.CacheKey(), "chan-v1|") {
+	// v2 added the defense clause to the identity; v1 keys must be
+	// unreachable so undefended cache entries never alias defended runs.
+	if !strings.HasPrefix(a.CacheKey(), "chan-v2|") {
 		t.Errorf("cache key %q not versioned", a.CacheKey())
+	}
+	if !strings.Contains(a.String(), ",defense=none,") {
+		t.Errorf("canonical encoding %q lacks the defense clause", a.String())
+	}
+	defended := b
+	defended.Defense = "eqpaths"
+	if defended.CacheKey() == b.CacheKey() {
+		t.Error("defense not part of the cache key")
+	}
+	// Defense names canonicalize case-insensitively like model names.
+	if got := (ChannelSpec{Defense: "EqPaths"}).Normalize().Defense; got != "eqpaths" {
+		t.Errorf("defense canonicalized to %q", got)
 	}
 	// Identity is the canonical encoding minus the seed clause; specs
 	// differing only by seed share it.
@@ -283,6 +318,18 @@ func TestBuildEquivalence(t *testing.T) {
 		{"NewSGXMTChannel", ht,
 			func(m cpu.Model) channel.BitChannel { return sgx.NewMT(attack.DefaultMT(m, attack.Misalignment)) },
 			ChannelSpec{Mechanism: MechanismMisalignment, Threading: ThreadingMT, SGX: true}},
+		// Defended specs: Build must apply the defense transform before
+		// constructing, matching a hand-defended constructor build.
+		{"EqualizePathsSpec", gold,
+			func(m cpu.Model) channel.BitChannel {
+				return attack.NewNonMT(attack.DefaultNonMT(defense.EqualizePaths(m), attack.Eviction, true))
+			},
+			ChannelSpec{Mechanism: MechanismEviction, Stealthy: true, Defense: "eqpaths"}},
+		{"PartitionSpec", ht,
+			func(m cpu.Model) channel.BitChannel {
+				return attack.NewMT(attack.DefaultMT(defense.Partition(m), attack.Eviction))
+			},
+			ChannelSpec{Mechanism: MechanismEviction, Threading: ThreadingMT, Defense: "partition"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,330 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/defense"
+	"repro/internal/spec"
+)
+
+// Advisory is the machine-readable per-CPU-model security advisory a
+// defense-spanning sweep renders down to: which channel configurations
+// are live on the model, what capacity each registered mitigation
+// leaves behind, what the mitigation costs in throughput, and which one
+// the accounting recommends. The structure (and Render's text form)
+// follows the affected-configurations / impact / fix format of vendor
+// transient-execution advisories such as Arm's TFV-6.
+//
+// An Advisory embeds no timing or scheduling state: its bytes (JSON or
+// Render) are a pure function of the report it was built from, so the
+// serving daemon caches advisories exactly like artifacts.
+type Advisory struct {
+	// ID is the deterministic advisory identifier, derived from the
+	// model name ("LFA-GOLD-6226").
+	ID string `json:"id"`
+	// Title names the advisory; Model and Microarch identify the part.
+	Title     string `json:"title"`
+	Model     string `json:"model"`
+	Microarch string `json:"microarch"`
+	// Reference cites the source analysis.
+	Reference string `json:"reference"`
+	// Filter, Bits, Seed echo the sweep the advisory was rendered from.
+	Filter string `json:"filter"`
+	Bits   int    `json:"bits"`
+	Seed   uint64 `json:"seed"`
+	// Affected lists the model's live channel variants at defense=none,
+	// in canonical enumeration order.
+	Affected []AdvisoryFinding `json:"affected"`
+	// BaselineKbps is the aggregate undefended residual capacity: the
+	// sum of the affected variants' mean residuals.
+	BaselineKbps float64 `json:"baseline_kbps"`
+	// Mitigations scores each applicable defense, in registry order.
+	Mitigations []AdvisoryMitigation `json:"mitigations"`
+	// Recommended names the mitigation with the least remaining
+	// capacity (ties broken by performance cost, then registry order).
+	Recommended string `json:"recommended"`
+}
+
+// AdvisoryFinding is one live channel variant on the advisory's model:
+// its pasteable filter key and the variant's mean transmission numbers
+// at defense=none.
+type AdvisoryFinding struct {
+	Key          string  `json:"key"`
+	N            int     `json:"n"`
+	MeanRate     float64 `json:"mean_rate_kbps"`
+	MeanErr      float64 `json:"mean_error_rate"`
+	ResidualKbps float64 `json:"residual_kbps"`
+}
+
+// AdvisoryMitigation scores one defense against the model's affected
+// variants.
+type AdvisoryMitigation struct {
+	Defense string `json:"defense"`
+	// Impact and Mitigation carry the registry's advisory prose.
+	Impact     string `json:"impact"`
+	Mitigation string `json:"mitigation"`
+	// PerformanceCost is the defended/baseline cycle ratio on a
+	// DSB-friendly workload (defense.PerformanceCost); 1.0 is free.
+	PerformanceCost float64 `json:"performance_cost"`
+	// RemainingKbps sums, over every affected variant, the capacity
+	// that survives this defense: the measured defended residual where
+	// one was swept, exactly zero where the defense eliminates the
+	// variant's substrate (nosmt x MT), and the undefended baseline
+	// where the defense cannot touch the variant at all (norapl x
+	// timing).
+	RemainingKbps float64 `json:"remaining_kbps"`
+	// Cells is this defense's slice of the report's attack x defense
+	// matrix, restricted to the advisory's model.
+	Cells []MatrixCell `json:"cells,omitempty"`
+}
+
+// AdvisoryFilter is the sweep filter an advisory for the model is built
+// from: the model's full scenario space across every defense.
+func AdvisoryFilter(model string) Filter {
+	return Filter{Model: model}
+}
+
+// variantKey names a spec's defense-free channel variant as a filter
+// query — groupKey without the defense clause — so defended rows can be
+// matched to their undefended twins.
+func variantKey(s spec.ChannelSpec) string {
+	return Filter{
+		Mechanism: string(s.Mechanism),
+		Threading: string(s.Threading),
+		Sink:      string(s.Sink),
+		SGX:       triOf(s.SGX),
+		Stealthy:  triOf(s.Stealthy),
+	}.String()
+}
+
+// variantAgg accumulates one variant's completed rows under one
+// defense.
+type variantAgg struct {
+	n                       int
+	rate, errRate, residual float64
+	rep                     spec.ChannelSpec // representative spec for scenario facets
+}
+
+func (v *variantAgg) add(row Row) {
+	v.n++
+	v.rate += row.RateKbps
+	v.errRate += row.ErrorRate
+	v.residual += row.RateKbps * (1 - binaryEntropy(row.ErrorRate))
+}
+
+// NewAdvisory renders a defense-spanning, model-scoped sweep report
+// into the model's advisory. Every completed row must belong to m (use
+// AdvisoryFilter to build such a report), and the report must contain
+// completed defense=none rows — the baseline the residual accounting is
+// anchored to. Mitigation performance costs are measured on m at the
+// report's base seed, so the advisory — like the report — is a pure
+// function of (model, filter, options).
+func NewAdvisory(rep Report, m cpu.Model) (Advisory, error) {
+	adv := Advisory{
+		ID:        advisoryID(m.Name),
+		Title:     fmt.Sprintf("Frontend covert channels on %s (%s)", m.Name, m.Microarch),
+		Model:     m.Name,
+		Microarch: m.Microarch,
+		Reference: "Leaky Frontends: Micro-Op Cache and Processor Frontend Attacks (HPCA 2022), Sections IV-VIII and XII",
+		Filter:    rep.Filter,
+		Bits:      rep.Bits,
+		Seed:      rep.Seed,
+	}
+	// Aggregate completed rows per (defense, variant), keeping the
+	// baseline variants' first-seen (canonical) order.
+	byDefense := map[string]map[string]*variantAgg{}
+	var variantOrder []string
+	for _, row := range rep.Rows {
+		if row.Err != "" {
+			continue
+		}
+		if row.Spec.Model != m.Name {
+			return Advisory{}, fmt.Errorf("sweep: advisory for %s built from a report containing %s rows (scope the filter to one model)", m.Name, row.Spec.Model)
+		}
+		vk := variantKey(row.Spec)
+		agg := byDefense[row.Spec.Defense]
+		if agg == nil {
+			agg = map[string]*variantAgg{}
+			byDefense[row.Spec.Defense] = agg
+		}
+		v := agg[vk]
+		if v == nil {
+			v = &variantAgg{rep: row.Spec}
+			agg[vk] = v
+			if row.Spec.Defense == defense.DefenseNone {
+				variantOrder = append(variantOrder, vk)
+			}
+		}
+		v.add(row)
+	}
+	baseline := byDefense[defense.DefenseNone]
+	if len(baseline) == 0 {
+		return Advisory{}, fmt.Errorf("sweep: advisory for %s needs completed defense=none rows as the baseline", m.Name)
+	}
+	for _, vk := range variantOrder {
+		v := baseline[vk]
+		adv.Affected = append(adv.Affected, AdvisoryFinding{
+			Key:          vk,
+			N:            v.n,
+			MeanRate:     v.rate / float64(v.n),
+			MeanErr:      v.errRate / float64(v.n),
+			ResidualKbps: v.residual / float64(v.n),
+		})
+		adv.BaselineKbps += v.residual / float64(v.n)
+	}
+
+	// Score each defense: remaining capacity over the baseline
+	// variants, performance cost on the model, matrix cells from its
+	// own rows.
+	for _, d := range defense.All() {
+		if d.Name == defense.DefenseNone {
+			continue
+		}
+		defended := byDefense[d.Name]
+		eliminatesAny := false
+		for _, vk := range variantOrder {
+			if d.Eliminates(scenarioOf(baseline[vk].rep, m)) {
+				eliminatesAny = true
+				break
+			}
+		}
+		if len(defended) == 0 && !eliminatesAny {
+			// The defense has no purchase on this model at all (nosmt
+			// where SMT is already off): no mitigation row.
+			continue
+		}
+		mit := AdvisoryMitigation{
+			Defense:         d.Name,
+			Impact:          d.Impact,
+			Mitigation:      d.Mitigation,
+			PerformanceCost: defense.PerformanceCost(m, d.Apply(m), rep.Seed),
+			Cells:           defenseCells(rep.Rows, m.Name, d.Name),
+		}
+		for _, vk := range variantOrder {
+			base := baseline[vk]
+			switch v := defended[vk]; {
+			case d.Eliminates(scenarioOf(base.rep, m)):
+				// Substrate removed: exactly zero, no measurement needed.
+			case v != nil:
+				mit.RemainingKbps += v.residual / float64(v.n)
+			default:
+				// The defense cannot touch this variant; it stays at its
+				// undefended baseline.
+				mit.RemainingKbps += base.residual / float64(base.n)
+			}
+		}
+		adv.Mitigations = append(adv.Mitigations, mit)
+	}
+	for _, mit := range adv.Mitigations {
+		if adv.Recommended == "" {
+			adv.Recommended = mit.Defense
+			continue
+		}
+		best := findMitigation(adv.Mitigations, adv.Recommended)
+		if mit.RemainingKbps < best.RemainingKbps ||
+			(mit.RemainingKbps == best.RemainingKbps && mit.PerformanceCost < best.PerformanceCost) {
+			adv.Recommended = mit.Defense
+		}
+	}
+	return adv, nil
+}
+
+func findMitigation(ms []AdvisoryMitigation, name string) AdvisoryMitigation {
+	for _, m := range ms {
+		if m.Defense == name {
+			return m
+		}
+	}
+	return AdvisoryMitigation{}
+}
+
+// scenarioOf projects a spec onto defense applicability facets, judged
+// against the undefended model.
+func scenarioOf(s spec.ChannelSpec, m cpu.Model) defense.Scenario {
+	return defense.Scenario{
+		MT:        s.Threading == spec.ThreadingMT,
+		PowerSink: s.Sink == spec.SinkPower,
+		ModelHT:   m.HyperThreading,
+	}
+}
+
+// defenseCells computes the attack x defense matrix cells for one
+// model's rows under one defense, reusing the report matrix
+// aggregation.
+func defenseCells(rows []Row, model, def string) []MatrixCell {
+	var scoped []Row
+	for _, row := range rows {
+		if row.Err == "" && row.Spec.Model == model && row.Spec.Defense == def {
+			scoped = append(scoped, row)
+		}
+	}
+	return newMatrix(scoped)
+}
+
+// advisoryID derives the deterministic advisory identifier from a model
+// name: "LFA-" (Leaky Frontend Advisory) plus the name uppercased with
+// every non-alphanumeric run collapsed to one dash.
+func advisoryID(model string) string {
+	var b strings.Builder
+	b.WriteString("LFA")
+	dash := true
+	for _, r := range strings.ToUpper(model) {
+		if (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			if dash {
+				b.WriteByte('-')
+				dash = false
+			}
+			b.WriteRune(r)
+			continue
+		}
+		dash = true
+	}
+	return b.String()
+}
+
+// Render writes the advisory as text in the two-column layout of vendor
+// transient-execution advisories (TFV-6 style): header rows, the
+// affected-configurations table, the mitigation scores, and the
+// recommendation. Like the JSON form it embeds no timing, so the bytes
+// are a pure function of the underlying report.
+func (a Advisory) Render() string {
+	var b strings.Builder
+	rule := strings.Repeat("=", 78) + "\n"
+	b.WriteString(rule)
+	row := func(k, v string) { fmt.Fprintf(&b, "%-22s %s\n", k, v) }
+	row("Advisory ID", a.ID)
+	row("Title", a.Title)
+	row("Reference", a.Reference)
+	filter := a.Filter
+	if filter == "" {
+		filter = "(all)"
+	}
+	row("Sweep", fmt.Sprintf("filter=%s bits=%d seed=%d", filter, a.Bits, a.Seed))
+	row("Impact", fmt.Sprintf("%d live channel variants; %.2f Kbps aggregate residual capacity undefended",
+		len(a.Affected), a.BaselineKbps))
+	row("Recommended fix", a.Recommended)
+	b.WriteString(rule)
+	b.WriteString("Configurations affected (defense=none):\n")
+	for _, f := range a.Affected {
+		fmt.Fprintf(&b, "  %-66s n=%d rate=%9.2f Kbps err=%6.2f%% residual=%9.2f Kbps\n",
+			f.Key, f.N, f.MeanRate, 100*f.MeanErr, f.ResidualKbps)
+	}
+	b.WriteString("Mitigations (remaining capacity over all affected configurations):\n")
+	for _, m := range a.Mitigations {
+		fmt.Fprintf(&b, "  %-10s perf cost=%5.2fx remaining=%9.2f Kbps (of %.2f baseline)\n",
+			m.Defense, m.PerformanceCost, m.RemainingKbps, a.BaselineKbps)
+		fmt.Fprintf(&b, "    impact: %s\n", m.Impact)
+		fmt.Fprintf(&b, "    deploy: %s\n", m.Mitigation)
+		for _, c := range m.Cells {
+			fmt.Fprintf(&b, "      %-38s n=%2d residual=%9.2f Kbps err=%6.2f%%\n",
+				c.Key, c.N, c.ResidualKbps, 100*c.MeanErr)
+		}
+	}
+	if rec := findMitigation(a.Mitigations, a.Recommended); rec.Defense != "" {
+		fmt.Fprintf(&b, "Recommendation: apply %s — %s\n", rec.Defense, rec.Mitigation)
+	}
+	b.WriteString(rule)
+	return b.String()
+}

@@ -1,0 +1,264 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cpu"
+	"repro/internal/defense"
+	"repro/internal/spec"
+)
+
+// advisoryReport sweeps one model's scenario space at the reduced test
+// scale. In -short mode the sweep keeps only the timing slice, which
+// still spans the defense axis.
+func advisoryReport(t *testing.T, m cpu.Model) Report {
+	t.Helper()
+	f := AdvisoryFilter(m.Name)
+	if testing.Short() {
+		f.Sink = "timing"
+		f.SGX = TriFalse
+	}
+	rep, err := Run(context.Background(), f, shortScale(8), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Specs || rep.Specs == 0 {
+		t.Fatalf("advisory sweep incomplete: %d/%d", rep.Completed, rep.Specs)
+	}
+	return rep
+}
+
+func TestNewAdvisoryAccounting(t *testing.T) {
+	m := cpu.Gold6226()
+	rep := advisoryReport(t, m)
+	adv, err := NewAdvisory(rep, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.ID != "LFA-GOLD-6226" {
+		t.Errorf("advisory ID %q", adv.ID)
+	}
+	if adv.Model != m.Name || adv.Microarch != m.Microarch || adv.Seed != rep.Seed {
+		t.Errorf("advisory header does not echo the model/report: %+v", adv)
+	}
+
+	// Affected covers exactly the defense=none variants, in canonical
+	// order, and the baseline is their residual sum.
+	wantVariants := map[string]bool{}
+	var wantOrder []string
+	for _, row := range rep.Rows {
+		if row.Err == "" && row.Spec.Defense == defense.DefenseNone && !wantVariants[variantKey(row.Spec)] {
+			wantVariants[variantKey(row.Spec)] = true
+			wantOrder = append(wantOrder, variantKey(row.Spec))
+		}
+	}
+	if len(adv.Affected) != len(wantOrder) {
+		t.Fatalf("%d affected variants, want %d", len(adv.Affected), len(wantOrder))
+	}
+	total := 0.0
+	for i, f := range adv.Affected {
+		if f.Key != wantOrder[i] {
+			t.Errorf("affected[%d] = %s, want %s", i, f.Key, wantOrder[i])
+		}
+		if f.N == 0 || f.ResidualKbps < 0 || f.ResidualKbps > f.MeanRate {
+			t.Errorf("affected[%d] stats implausible: %+v", i, f)
+		}
+		// Each key is a pasteable filter matching its own variant.
+		vf, err := ParseFilter(f.Key)
+		if err != nil {
+			t.Fatalf("affected key %q not parseable: %v", f.Key, err)
+		}
+		matched := false
+		for _, row := range rep.Rows {
+			if row.Spec.Defense == defense.DefenseNone && vf.Match(row.Spec) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("affected key %q matches no baseline row", f.Key)
+		}
+		total += f.ResidualKbps
+	}
+	if adv.BaselineKbps != total {
+		t.Errorf("baseline %v != sum of affected residuals %v", adv.BaselineKbps, total)
+	}
+
+	// Gold 6226 has hyper-threading: every non-none defense has
+	// purchase, so all four are scored and nosmt zeroes the MT variants.
+	var names []string
+	for _, mit := range adv.Mitigations {
+		names = append(names, mit.Defense)
+		if mit.PerformanceCost < 1.0 {
+			t.Errorf("%s performance cost %v < 1 (defenses never speed the core up)", mit.Defense, mit.PerformanceCost)
+		}
+		if mit.RemainingKbps < 0 {
+			t.Errorf("%s remaining capacity negative: %v", mit.Defense, mit.RemainingKbps)
+		}
+		if mit.Impact == "" || mit.Mitigation == "" {
+			t.Errorf("%s advisory prose missing", mit.Defense)
+		}
+	}
+	want := []string{"nosmt", "eqpaths", "norapl", "partition"}
+	if testing.Short() {
+		// The -short slice drops the power sink, so norapl has neither
+		// rows nor eliminations and is skipped.
+		want = []string{"nosmt", "eqpaths", "partition"}
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("mitigations %v, want registry order %v", names, want)
+	}
+	nosmt := findMitigation(adv.Mitigations, "nosmt")
+	mtBaseline := 0.0
+	for i, f := range adv.Affected {
+		if strings.Contains(f.Key, "thread=mt") {
+			mtBaseline += adv.Affected[i].ResidualKbps
+		}
+	}
+	if mtBaseline == 0 {
+		t.Fatal("no MT variants in the baseline — the nosmt elimination check is vacuous")
+	}
+	// Exact accounting: on an HT model nosmt eliminates every MT variant
+	// (zero contribution) and every other variant is measured against its
+	// nosmt-defended twin, so the remaining capacity is precisely the sum
+	// of the report's defense=nosmt rows — neither the eliminated MT
+	// baselines nor any defense=none carry-over may leak in. (A blanket
+	// remaining < baseline bound would be wrong: a defended twin can beat
+	// its baseline residual when the defense happens to lower the error.)
+	nosmtRows := 0.0
+	for _, row := range rep.Rows {
+		if row.Err == "" && row.Spec.Defense == defense.DefenseNoSMT {
+			nosmtRows += row.RateKbps * (1 - binaryEntropy(row.ErrorRate))
+		}
+	}
+	if diff := math.Abs(nosmt.RemainingKbps - nosmtRows); diff > 1e-9 {
+		t.Errorf("nosmt remaining %v != sum of nosmt twin rows %v (MT eliminations not worth 0, or baseline leaked in)",
+			nosmt.RemainingKbps, nosmtRows)
+	}
+
+	// Recommended is one of the scored mitigations and no other scored
+	// mitigation strictly beats it.
+	rec := findMitigation(adv.Mitigations, adv.Recommended)
+	if rec.Defense == "" {
+		t.Fatalf("recommended %q is not a scored mitigation", adv.Recommended)
+	}
+	for _, mit := range adv.Mitigations {
+		if mit.RemainingKbps < rec.RemainingKbps {
+			t.Errorf("%s (remaining %v) beats recommended %s (%v)",
+				mit.Defense, mit.RemainingKbps, rec.Defense, rec.RemainingKbps)
+		}
+	}
+
+	// The advisory is a pure function of (report, model): bytes and
+	// rendering are reproducible.
+	again, err := NewAdvisory(rep, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(adv, again) {
+		t.Fatal("two advisories from one report differ")
+	}
+	aj, _ := json.Marshal(adv)
+	bj, _ := json.Marshal(again)
+	if string(aj) != string(bj) {
+		t.Fatal("advisory JSON not reproducible")
+	}
+	text := adv.Render()
+	if text != again.Render() {
+		t.Fatal("advisory rendering not reproducible")
+	}
+	for _, want := range []string{adv.ID, adv.Title, "Configurations affected", "Mitigations", "Recommendation: apply " + adv.Recommended} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered advisory missing %q", want)
+		}
+	}
+}
+
+func TestNewAdvisorySkipsDefensesWithoutPurchase(t *testing.T) {
+	// E-2288G ships with hyper-threading disabled (Table I): nosmt and
+	// partition have nothing to act on, so the advisory scores only
+	// eqpaths and norapl.
+	m := cpu.XeonE2288G()
+	rep := advisoryReport(t, m)
+	adv, err := NewAdvisory(rep, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, mit := range adv.Mitigations {
+		names = append(names, mit.Defense)
+	}
+	want := []string{"eqpaths", "norapl"}
+	if testing.Short() {
+		// The -short slice drops the power sink; norapl rows vanish and
+		// norapl eliminates nothing, so only eqpaths remains.
+		want = []string{"eqpaths"}
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("E-2288G mitigations %v, want %v", names, want)
+	}
+}
+
+func TestNewAdvisoryRejectsUnusableReports(t *testing.T) {
+	// A report spanning several models cannot be rendered as one
+	// model's advisory.
+	f, err := ParseFilter("mech=slowswitch,defense=none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), f, shortScale(4), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAdvisory(rep, cpu.Gold6226()); err == nil || !strings.Contains(err.Error(), "scope the filter") {
+		t.Errorf("mixed-model report accepted: %v", err)
+	}
+
+	// A report with no defense=none rows has no baseline to anchor to.
+	f2, err := ParseFilter("model=Gold 6226,mech=slowswitch,defense=eqpaths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(context.Background(), f2, shortScale(1), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Specs == 0 {
+		t.Fatal("defended shard empty")
+	}
+	if _, err := NewAdvisory(rep2, cpu.Gold6226()); err == nil || !strings.Contains(err.Error(), "defense=none") {
+		t.Errorf("baseline-free report accepted: %v", err)
+	}
+}
+
+// TestAdvisoryDefenseNoneBuildIdentity proves the defense axis is free
+// when unused: a defense=none spec and the same spec with the field
+// left empty build identical channels and transmit identical bytes.
+func TestAdvisoryDefenseNoneBuildIdentity(t *testing.T) {
+	base := spec.ChannelSpec{
+		Model:     "Gold 6226",
+		Mechanism: spec.MechanismEviction,
+		Threading: spec.ThreadingMT,
+		Sink:      spec.SinkTiming,
+		Seed:      11,
+		CalibBits: 4,
+	}
+	explicit := base
+	explicit.Defense = defense.DefenseNone
+	a, err := base.Transmit(channel.Alternating(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explicit.Transmit(channel.Alternating(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("defense=none perturbed the channel:\n%+v\n%+v", a, b)
+	}
+}

@@ -7,10 +7,11 @@
 //
 // The grammar is comma-separated key=value clauses:
 //
-//	model=xeon*,mech=eviction,thread=mt,sink=timing,sgx=false,d=1..4
+//	model=xeon*,mech=eviction,thread=mt,sink=timing,sgx=false,defense=none,d=1..4
 //
-// model/mech/thread/sink take case-insensitive shell globs (any
-// path.Match pattern without a comma — the clause separator),
+// model/mech/thread/sink/defense take case-insensitive shell globs
+// (any path.Match pattern without a comma — the clause separator; a
+// literal defense pattern must additionally name a registered defense),
 // sgx/stealthy/contended take true|false, and d/m/p take a single
 // value or an inclusive lo..hi range. An empty query selects the whole
 // space. ParseFilter and Filter.String round-trip: parsing a filter's
@@ -24,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/defense"
 	"repro/internal/spec"
 )
 
@@ -82,6 +84,11 @@ type Filter struct {
 	SGX       Tri
 	Stealthy  Tri
 	Contended Tri
+	// Defense is a case-insensitive glob over the defense axis. A
+	// literal pattern (no glob metacharacters) must name a registered
+	// defense — "defense=nosnt" is a typo worth rejecting before any
+	// work, where "defense=no*" is a legitimately open pattern.
+	Defense string
 	// D, M, P constrain the protocol parameters (inclusive ranges
 	// against the normalized spec, so they select among the enumerated
 	// defaults).
@@ -91,7 +98,7 @@ type Filter struct {
 // filterKeys is the canonical clause order of the grammar; String
 // renders set clauses in this order and ParseFilter rejects keys
 // outside it.
-var filterKeys = []string{"model", "mech", "thread", "sink", "sgx", "stealthy", "contended", "d", "m", "p"}
+var filterKeys = []string{"model", "mech", "thread", "sink", "sgx", "stealthy", "contended", "defense", "d", "m", "p"}
 
 // ParseFilter parses the sweep query grammar. The empty string is the
 // whole space. Unknown keys, duplicate keys, malformed globs, bad
@@ -130,6 +137,8 @@ func ParseFilter(query string) (Filter, error) {
 			f.Stealthy, err = parseTri(val)
 		case "contended":
 			f.Contended, err = parseTri(val)
+		case "defense":
+			f.Defense, err = parseDefenseGlob(val)
 		case "d":
 			f.D, err = parseRange(val)
 		case "m":
@@ -163,6 +172,7 @@ func (f Filter) String() string {
 	add("sgx", f.SGX.clause())
 	add("stealthy", f.Stealthy.clause())
 	add("contended", f.Contended.clause())
+	add("defense", f.Defense)
 	add("d", rangeClause(f.D))
 	add("m", rangeClause(f.M))
 	add("p", rangeClause(f.P))
@@ -204,6 +214,11 @@ func (f Filter) validate() error {
 			return fmt.Errorf("sweep: clause %q: %v", g.key+"="+g.pattern, err)
 		}
 	}
+	if f.Defense != "" {
+		if _, err := parseDefenseGlob(f.Defense); err != nil {
+			return fmt.Errorf("sweep: clause %q: %v", "defense="+f.Defense, err)
+		}
+	}
 	for _, r := range []struct {
 		key string
 		r   Range
@@ -234,6 +249,7 @@ func (f Filter) Match(s spec.ChannelSpec) bool {
 		f.SGX.match(s.SGX) &&
 		f.Stealthy.match(s.Stealthy) &&
 		f.Contended.match(s.Contended) &&
+		matchGlob(f.Defense, s.Defense) &&
 		f.D.match(s.D) &&
 		f.M.match(s.M) &&
 		f.P.match(s.P)
@@ -253,6 +269,24 @@ func parseGlob(pattern string) (string, error) {
 		return "", fmt.Errorf("bad pattern %q", pattern)
 	}
 	return pattern, nil
+}
+
+// parseDefenseGlob vets a defense pattern like parseGlob and, for a
+// literal pattern (no glob metacharacters), additionally requires it to
+// name a registered defense: the axis has a closed catalog, so a
+// literal that matches nothing is a typo to report before any work, not
+// an empty shard to sweep.
+func parseDefenseGlob(pattern string) (string, error) {
+	p, err := parseGlob(pattern)
+	if err != nil {
+		return "", err
+	}
+	if !strings.ContainsAny(p, `*?[\`) {
+		if _, ok := defense.Lookup(p); !ok {
+			return "", fmt.Errorf("unknown defense %q (valid: %s)", p, strings.Join(defense.Names(), ", "))
+		}
+	}
+	return p, nil
 }
 
 func matchGlob(pattern, value string) bool {

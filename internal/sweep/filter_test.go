@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cpu"
+	"repro/internal/defense"
 	"repro/internal/spec"
 )
 
@@ -27,6 +28,9 @@ func TestParseFilterRoundTrip(t *testing.T) {
 		// A zero point range is a real constraint, distinct from the
 		// unconstrained zero Filter.
 		{"m=0", Filter{M: Range{0, 0, true}}},
+		// The defense axis: literals and open globs both round-trip.
+		{"defense=nosmt", Filter{Defense: "nosmt"}},
+		{"mech=eviction,defense=no*", Filter{Mechanism: "eviction", Defense: "no*"}},
 	}
 	for _, tc := range cases {
 		f, err := ParseFilter(tc.query)
@@ -66,6 +70,10 @@ func TestParseFilterRejectsMalformedQueries(t *testing.T) {
 		{"negative range", "d=-1", "bad range"},
 		{"non-numeric range", "p=ten", "bad bound"},
 		{"half range", "p=1..", "bad bound"},
+		// The defense catalog is closed: a literal that names no
+		// registered defense is a typo, not an empty shard.
+		{"unknown defense literal", "defense=nosnt", "unknown defense"},
+		{"bad defense glob", "defense=[", "bad pattern"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -130,5 +138,23 @@ func TestFilterMatch(t *testing.T) {
 	// m=8) rather than degenerating into the unconstrained zero Range.
 	if got, want := count("m=0"), len(all)-count("mech=misalignment"); got != want {
 		t.Errorf("m=0 matched %d, want the non-misalignment slice %d", got, want)
+	}
+	// Defense identities: the axis partitions the space, norapl keeps
+	// exactly the power slice, and an open glob unions its literals.
+	sum := 0
+	for _, d := range defense.Names() {
+		sum += count("defense=" + d)
+	}
+	if sum != len(all) {
+		t.Errorf("defense slices sum to %d, want the whole space %d", sum, len(all))
+	}
+	if got, want := count("defense=norapl"), count("sink=power,defense=norapl"); got != want || got == 0 {
+		t.Errorf("norapl slice %d, want its power-only slice %d (nonzero)", got, want)
+	}
+	if got, want := count("defense=no*"), count("defense=none")+count("defense=nosmt")+count("defense=norapl"); got != want {
+		t.Errorf("defense=no* matched %d, want none+nosmt+norapl = %d", got, want)
+	}
+	if got := count("defense=nosmt,thread=mt"); got != 0 {
+		t.Errorf("nosmt x MT matched %d specs, want 0 (the defense removes the substrate)", got)
 	}
 }

@@ -3,10 +3,12 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/channel"
 	"repro/internal/cpu"
+	"repro/internal/defense"
 	"repro/internal/rng"
 	"repro/internal/runctx"
 	"repro/internal/spec"
@@ -73,9 +75,10 @@ type Row struct {
 }
 
 // Group aggregates the completed rows of one channel variant —
-// mechanism x threading x sink x SGX x stealthy, across models and
-// protocol parameters. Key is a filter query selecting exactly this
-// group, so a client can paste it back into a narrower sweep.
+// mechanism x threading x sink x SGX x stealthy x defense, across
+// models and protocol parameters. Key is a filter query selecting
+// exactly this group, so a client can paste it back into a narrower
+// sweep.
 type Group struct {
 	Key      string  `json:"key"`
 	N        int     `json:"n"`
@@ -105,6 +108,29 @@ type Report struct {
 	Completed int     `json:"completed"`
 	Rows      []Row   `json:"rows"`
 	Groups    []Group `json:"groups,omitempty"`
+	// Matrix is the attack x defense view: one cell per
+	// (mechanism, defense) combination with completed rows, in
+	// mechanism-major canonical order. It is the Section XII ablation
+	// readout — what capacity survives each mitigation.
+	Matrix []MatrixCell `json:"matrix,omitempty"`
+}
+
+// MatrixCell aggregates the completed rows of one mechanism x defense
+// combination across every other axis. Key is a filter query selecting
+// exactly this cell, pasteable back into a narrower sweep.
+type MatrixCell struct {
+	Key       string `json:"key"`
+	Mechanism string `json:"mechanism"`
+	Defense   string `json:"defense"`
+	N         int    `json:"n"`
+	// MeanRate and MeanErr average the cell's raw transmissions.
+	MeanRate float64 `json:"mean_rate_kbps"`
+	MeanErr  float64 `json:"mean_error_rate"`
+	// ResidualKbps is the mean residual capacity: per row, the raw rate
+	// discounted by the binary-symmetric-channel capacity factor
+	// 1 - H2(error), so a channel a defense drove to coin-flip error
+	// contributes ~0 however fast it signals.
+	ResidualKbps float64 `json:"residual_kbps"`
 }
 
 // RunFunc executes one scenario and returns its transmission. The
@@ -276,11 +302,68 @@ func NewReport(f Filter, o Options, rows []Row) Report {
 		r.Groups[i].MeanRate /= float64(r.Groups[i].N)
 		r.Groups[i].MeanErr /= float64(r.Groups[i].N)
 	}
+	r.Matrix = newMatrix(rows)
 	return r
 }
 
+// newMatrix aggregates completed rows into the attack x defense matrix,
+// in mechanism-major canonical order (enumeration mechanism order by
+// defense registry order), skipping empty cells. Accumulation follows
+// row order, so the floats — like everything else in a Report — are
+// byte-identical for every worker count.
+func newMatrix(rows []Row) []MatrixCell {
+	type cellKey struct{ mech, def string }
+	cells := map[cellKey]*MatrixCell{}
+	for _, row := range rows {
+		if row.Err != "" {
+			continue
+		}
+		k := cellKey{string(row.Spec.Mechanism), row.Spec.Defense}
+		c, ok := cells[k]
+		if !ok {
+			c = &MatrixCell{
+				Key:       Filter{Mechanism: k.mech, Defense: k.def}.String(),
+				Mechanism: k.mech,
+				Defense:   k.def,
+			}
+			cells[k] = c
+		}
+		c.N++
+		c.MeanRate += row.RateKbps
+		c.MeanErr += row.ErrorRate
+		c.ResidualKbps += row.RateKbps * (1 - binaryEntropy(row.ErrorRate))
+	}
+	var out []MatrixCell
+	for _, mech := range []spec.Mechanism{spec.MechanismEviction, spec.MechanismMisalignment, spec.MechanismSlowSwitch} {
+		for _, def := range defense.Names() {
+			c, ok := cells[cellKey{string(mech), def}]
+			if !ok {
+				continue
+			}
+			c.MeanRate /= float64(c.N)
+			c.MeanErr /= float64(c.N)
+			c.ResidualKbps /= float64(c.N)
+			out = append(out, *c)
+		}
+	}
+	return out
+}
+
+// binaryEntropy is H2(e), the binary entropy in bits, clamped to the
+// meaningful [0,1] error domain. 1 - H2(e) is the capacity factor of a
+// binary symmetric channel: 1 at e=0 or e=1 (a perfectly inverted
+// channel still carries every bit), 0 at the e=0.5 coin flip.
+func binaryEntropy(e float64) float64 {
+	if e <= 0 || e >= 1 {
+		return 0
+	}
+	return -e*math.Log2(e) - (1-e)*math.Log2(1-e)
+}
+
 // groupKey names a row's channel variant as a filter query, so every
-// group in a report can be pasted back as a narrower sweep.
+// group in a report can be pasted back as a narrower sweep. Defense is
+// part of the variant: a defended row must never average into its
+// undefended twin's group.
 func groupKey(s spec.ChannelSpec) string {
 	return Filter{
 		Mechanism: string(s.Mechanism),
@@ -288,6 +371,7 @@ func groupKey(s spec.ChannelSpec) string {
 		Sink:      string(s.Sink),
 		SGX:       triOf(s.SGX),
 		Stealthy:  triOf(s.Stealthy),
+		Defense:   s.Defense,
 	}.String()
 }
 
@@ -322,6 +406,14 @@ func (r Report) Render() string {
 		for _, g := range r.Groups {
 			fmt.Fprintf(&b, "  %-70s %2d %9.2f/%9.2f/%9.2f %7.2f%%/%7.2f%%/%7.2f%%\n",
 				g.Key, g.N, g.MinRate, g.MeanRate, g.MaxRate, 100*g.MinErr, 100*g.MeanErr, 100*g.MaxErr)
+		}
+	}
+	if len(r.Matrix) > 0 {
+		fmt.Fprintf(&b, "attack x defense residual matrix (mean over completed rows):\n")
+		fmt.Fprintf(&b, "  %-40s %3s %12s %8s %15s\n", "cell", "n", "rate (Kbps)", "error", "residual (Kbps)")
+		for _, c := range r.Matrix {
+			fmt.Fprintf(&b, "  %-40s %3d %12.2f %7.2f%% %15.2f\n",
+				c.Key, c.N, c.MeanRate, 100*c.MeanErr, c.ResidualKbps)
 		}
 	}
 	return b.String()

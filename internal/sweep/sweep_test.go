@@ -182,7 +182,7 @@ func TestRunReportBytesIdenticalAcrossWorkers(t *testing.T) {
 }
 
 func TestRunRowsMatchDirectTransmit(t *testing.T) {
-	f, err := ParseFilter("mech=slowswitch")
+	f, err := ParseFilter("mech=slowswitch,defense=none")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestRunRowsMatchDirectTransmit(t *testing.T) {
 		t.Fatal(err)
 	}
 	if rep.Specs != len(cpu.Models()) {
-		t.Fatalf("slowswitch shard has %d specs, want one per model", rep.Specs)
+		t.Fatalf("undefended slowswitch shard has %d specs, want one per model", rep.Specs)
 	}
 	for _, row := range rep.Rows {
 		res, err := row.Spec.Transmit(channel.Alternating(o.Bits))
@@ -204,7 +204,7 @@ func TestRunRowsMatchDirectTransmit(t *testing.T) {
 				row.Canonical, row.RateKbps, row.ErrorRate, res.RateKbps, res.ErrorRate)
 		}
 	}
-	if rep.Filter != "mech=slowswitch" {
+	if rep.Filter != "mech=slowswitch,defense=none" {
 		t.Errorf("report filter %q", rep.Filter)
 	}
 	if len(rep.Groups) != 1 || rep.Groups[0].N != rep.Specs {

@@ -326,8 +326,36 @@ func ClassifyTrace(observed []float64, refs [][]float64) int {
 	return fingerprint.Classify(observed, refs)
 }
 
+// Defense is one registered countermeasure (Section XII): a pure model
+// transform plus the applicability predicate and advisory prose the
+// spec layer and the advisory renderer use. Set a spec's Defense field
+// to a registered name and the defended scenario becomes enumerable,
+// sweepable, and cacheable like any other.
+type Defense = defense.Defense
+
+// Canonical defense names, in registry order.
+const (
+	DefenseNone          = defense.DefenseNone
+	DefenseNoSMT         = defense.DefenseNoSMT
+	DefenseEqualizePaths = defense.DefenseEqualizePaths
+	DefenseNoRAPL        = defense.DefenseNoRAPL
+	DefensePartition     = defense.DefensePartition
+)
+
+// Defenses returns the registered defense catalog in canonical order
+// (the order Enumerate spans the defense axis).
+func Defenses() []Defense { return defense.All() }
+
+// ResolveDefense resolves a defense by name, case-insensitively; the
+// error lists the valid names.
+func ResolveDefense(name string) (Defense, error) { return defense.Resolve(name) }
+
 // Defense ablations (Section XII): apply a countermeasure to a model and
 // re-run the attacks against it.
+//
+// Deprecated: these free-function transforms are frozen aliases of the
+// registry entries; resolve a Defense and Apply it, or set Defense on a
+// ChannelSpec so the ablation is enumerable and sweepable.
 var (
 	// DisableSMT turns hyper-threading off, eliminating all MT attacks.
 	DisableSMT = defense.DisableSMT
@@ -342,14 +370,63 @@ var (
 // DefenseResidualError re-runs the stealthy eviction channel against a
 // (possibly defended) model and returns the residual error rate; ~0.5
 // means the channel is closed. Seed 0 means the default seed 1.
+//
+// Deprecated: transmit through the spec path instead —
+// ChannelSpec{Stealthy: true, Defense: ..., Seed: ...}.Transmit — which
+// covers every mechanism and defense, not just the stealthy eviction
+// probe. Kept as a byte-identical shim.
 func DefenseResidualError(m Model, bits int, seed uint64) float64 {
 	return defense.NonMTResidualError(m, bits, defaultSeed(seed))
 }
 
 // DefenseCost returns the relative slowdown of a defended model on a
 // DSB-friendly workload. Seed 0 means the default seed 1.
+//
+// Deprecated: use DefensePerformanceCost with a registered defense, or
+// read the PerformanceCost field off an Advisory mitigation. Kept as a
+// byte-identical shim.
 func DefenseCost(base, defended Model, seed uint64) float64 {
 	return defense.PerformanceCost(base, defended, defaultSeed(seed))
+}
+
+// DefensePerformanceCost measures the throughput price of a registered
+// defense on a model: defended cycles over baseline cycles on a
+// DSB-friendly workload (1.0 is free). Seed 0 means the default seed 1.
+func DefensePerformanceCost(m Model, d Defense, seed uint64) float64 {
+	return defense.PerformanceCost(m, d.Apply(m), defaultSeed(seed))
+}
+
+// Advisory is a machine-readable per-CPU-model security advisory: the
+// model's live channel variants, each registered mitigation's residual
+// capacity and performance cost, and the recommended fix, rendered from
+// a defense-spanning sweep. Render gives the vendor-advisory text form.
+type Advisory = sweep.Advisory
+
+// AdvisoryFinding is one live channel variant in an advisory.
+type AdvisoryFinding = sweep.AdvisoryFinding
+
+// AdvisoryMitigation scores one defense in an advisory.
+type AdvisoryMitigation = sweep.AdvisoryMitigation
+
+// AdvisorySweepFilter is the filter a model's advisory sweep uses: the
+// model's whole scenario space across every defense.
+func AdvisorySweepFilter(m Model) SweepFilter { return sweep.AdvisoryFilter(m.Name) }
+
+// NewAdvisory renders a model-scoped, defense-spanning sweep report
+// (swept with AdvisorySweepFilter) into the model's advisory. The
+// report must contain completed defense=none rows — the baseline the
+// residual accounting is anchored to.
+func NewAdvisory(rep SweepReport, m Model) (Advisory, error) { return sweep.NewAdvisory(rep, m) }
+
+// ModelAdvisory sweeps the model's whole scenario space across every
+// registered defense at the given scale and renders the advisory in one
+// call. Like Sweep, the result is a pure function of (model, options).
+func ModelAdvisory(m Model, o SweepOptions) (Advisory, error) {
+	rep, err := sweep.Run(context.Background(), sweep.AdvisoryFilter(m.Name), o, nil, nil)
+	if err != nil {
+		return Advisory{}, err
+	}
+	return sweep.NewAdvisory(rep, m)
 }
 
 // ExperimentOpts scales the paper-reproduction experiments.

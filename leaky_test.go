@@ -219,9 +219,11 @@ func TestFacadeFingerprint(t *testing.T) {
 }
 
 func TestFacadeSweep(t *testing.T) {
-	// A small shard through the public one-call path: the slow-switch
-	// channels, whose rows must match spec-level transmissions.
-	f, err := leaky.ParseSweepFilter("mech=slowswitch")
+	// A small shard through the public one-call path: the undefended
+	// slow-switch channels, whose rows must match spec-level
+	// transmissions. defense=none pins the pre-defense-axis shard, so
+	// the shard stays one row per model.
+	f, err := leaky.ParseSweepFilter("mech=slowswitch,defense=none")
 	if err != nil {
 		t.Fatal(err)
 	}
