@@ -9,6 +9,7 @@
 //	leakyfe -run 'table*' -json
 //	leakyfe -run tableIII,figure8 -bits 400
 //	leakyfe -run all -progress -timeout 90s
+//	leakyfe -run all -trace run.json     # Chrome trace_event profile of the run
 //
 // The -run flag takes a comma-separated list of experiment names as
 // printed by -list, matched case-insensitively ("TABLEiii" works), or
@@ -56,6 +57,7 @@ func main() {
 		timing   = flag.Bool("timing", false, "append per-artifact wall-clock timings (text mode)")
 		timeout  = flag.Duration("timeout", 0, "per-invocation deadline; exceeded runs are cancelled cooperatively (0 = none)")
 		progress = flag.Bool("progress", false, "report live experiment progress on stderr")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event profile of the run to this file (load in about:tracing or ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -87,11 +89,27 @@ func main() {
 	// second Ctrl-C actually kills the process instead of being
 	// swallowed while a long un-checkpointed section finishes.
 	context.AfterFunc(ctx, stop)
+	// Per-artifact and per-stage spans record wall-clock only; the trace
+	// never changes the rendered artifact bytes. flushTrace runs before
+	// every exit path (exitCancelled bypasses defers via os.Exit).
+	flushTrace := func() {}
+	if *traceOut != "" {
+		tr := leaky.NewTrace("leakyfe")
+		ctx = tr.Context(ctx)
+		flushTrace = func() {
+			tr.Finish()
+			if err := writeTrace(*traceOut, tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
 	rc := runctx.New(ctx, progressSink(*progress))
 
 	rn := experiments.Runner{Opts: o, Workers: *parallel}
 	if *jsonOut {
 		results := rn.RunEmitCtx(rc, arts, nil)
+		flushTrace()
 		b, err := experiments.RenderJSON(results)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "leakyfe: encoding results: %v\n", err)
@@ -107,10 +125,27 @@ func main() {
 	results := rn.RunEmitCtx(rc, arts, func(r leaky.ExperimentResult) {
 		fmt.Print(experiments.RenderText([]experiments.Result{r}, false))
 	})
+	flushTrace()
 	if *timing {
 		fmt.Print(experiments.RenderTimings(results))
 	}
 	exitCancelled(results)
+}
+
+// writeTrace exports the finished trace as Chrome trace_event JSON.
+func writeTrace(path string, tr *leaky.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("leakyfe: %v", err)
+	}
+	if err := leaky.WriteChromeTrace(f, tr); err != nil {
+		f.Close()
+		return fmt.Errorf("leakyfe: writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("leakyfe: writing trace: %v", err)
+	}
+	return nil
 }
 
 // progressSink returns the stderr progress reporter, throttled so tight

@@ -9,6 +9,7 @@
 //
 //	leakyfed -addr :8080 -workers 4 -cache-size 1024 -default-seed 1
 //	leakyfed -cancel-abandoned   # free slots when the last waiter leaves
+//	leakyfed -pprof localhost:6060 -log-format json
 //
 // Simulations are cancellable: shutdown (SIGINT/SIGTERM) cancels every
 // in-flight run at its next cooperative checkpoint before draining
@@ -30,8 +31,17 @@
 //	                                  {...}, "calib": n, "maxp": n}; NDJSON per-spec rows in
 //	                                  canonical order plus a final {"report": ...} aggregate,
 //	                                  cache-shared and singleflight-deduped with /v1/channels/run
+//	GET /v1/traces                    retained ?trace=1 request traces; /v1/traces/{id}
+//	                                  serves one (?format=json|ndjson|chrome)
 //	GET /healthz                      liveness; 503 when the job queue stays full
-//	GET /metrics                      Prometheus text counters
+//	GET /metrics                      Prometheus text counters and latency histograms
+//
+// Observability: every request gets an X-Request-Id and one structured
+// log line (-log-format text|json; WARN for 4xx/5xx); ?trace=1 on
+// /v1/run and /v1/sweeps interleaves span lines into the NDJSON stream
+// and retains the trace for /v1/traces/{id}; -pprof exposes
+// net/http/pprof on a separate listener so profiling endpoints never
+// share the public address.
 package main
 
 import (
@@ -39,7 +49,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,8 +72,23 @@ func main() {
 		samples   = flag.Int("default-samples", 100, "samples used when a request does not pass ?samples=")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request wait bound (timed-out runs still warm the cache unless -cancel-abandoned)")
 		cancelAb  = flag.Bool("cancel-abandoned", false, "cancel an uncached run once its last HTTP waiter disconnects, freeing its worker slot immediately")
+		logFormat = flag.String("log-format", "text", "request log format on stderr: text|json")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables profiling")
+		traceBuf  = flag.Int("trace-buffer", 32, "how many completed ?trace=1 request traces GET /v1/traces retains")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "leakyfed: bad -log-format %q: want text|json\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 
 	srv := leaky.NewServer(leaky.ServeConfig{
 		Opts:            leaky.ExperimentOpts{Bits: *bits, Seed: *seed, Samples: *samples},
@@ -70,6 +97,8 @@ func main() {
 		CacheSize:       *cacheSize,
 		Timeout:         *timeout,
 		CancelAbandoned: *cancelAb,
+		Logger:          logger,
+		TraceBuffer:     *traceBuf,
 	})
 	hs := &http.Server{
 		Addr:    *addr,
@@ -79,6 +108,25 @@ func main() {
 		// unbounded because /v1/run streams for as long as it simulates.
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Profiling listens on its own mux and address: pprof endpoints are
+	// operator-only and must never ride the public API listener.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		defer ps.Close()
+		go func() {
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof listener failed", slog.String("addr", *pprofAddr), slog.String("err", err.Error()))
+			}
+		}()
+		fmt.Printf("leakyfed pprof on %s\n", *pprofAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -15,6 +15,7 @@
 //	leakysweep -list                              # print the shard, run nothing
 //	leakysweep -json -progress                    # report JSON, progress on stderr
 //	leakysweep -advisory "Gold 6226" -maxp 2000   # render the model's security advisory
+//	leakysweep -trace sweep.json                  # also write a Chrome trace_event profile
 //
 // The filter grammar is comma-separated key=value clauses: globs for
 // model/mech/thread/sink (case-insensitive), true|false for
@@ -51,6 +52,7 @@ func main() {
 		progress = flag.Bool("progress", false, "print per-spec completions on stderr as they land")
 		list     = flag.Bool("list", false, "print the expanded shard and exit without running")
 		advisory = flag.String("advisory", "", "sweep the named model across every defense and render its security advisory (overrides -filter)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event profile of the sweep to this file (load in about:tracing or ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -84,6 +86,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The trace records per-spec and per-stage wall-clock spans; it never
+	// changes the report bytes (tracing is timing-only by design).
+	var tr *leaky.Trace
+	if *traceOut != "" {
+		tr = leaky.NewTrace("leakysweep")
+		ctx = tr.Context(ctx)
+	}
 	var emit func(leaky.SweepRow)
 	done := 0
 	if *progress {
@@ -97,6 +106,13 @@ func main() {
 		}
 	}
 	report, err := leaky.SweepCtx(ctx, f, o, emit)
+	if tr != nil {
+		tr.Finish()
+		if werr := writeTrace(*traceOut, tr); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(2)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -139,4 +155,20 @@ func main() {
 			report.Specs-report.Completed, report.Specs)
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the finished trace as Chrome trace_event JSON.
+func writeTrace(path string, tr *leaky.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("leakysweep: %v", err)
+	}
+	if err := leaky.WriteChromeTrace(f, tr); err != nil {
+		f.Close()
+		return fmt.Errorf("leakysweep: writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("leakysweep: writing trace: %v", err)
+	}
+	return nil
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	leaky "repro"
+)
+
+// TestTraceOutputIsValidChromeTrace exercises the -trace path end to
+// end: a real (small) sweep runs under a trace, writeTrace exports it,
+// and the file on disk validates against the Chrome trace_event schema
+// subset about:tracing and Perfetto require. It also pins the tracing
+// discipline at the CLI level: the traced report is byte-identical to
+// an untraced one.
+func TestTraceOutputIsValidChromeTrace(t *testing.T) {
+	f, err := leaky.ParseSweepFilter("mech=eviction,thread=nonmt,sink=timing,sgx=false,model=Xeon E-2174G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := leaky.SweepOptions{Bits: 8, Seed: 1, MaxP: 2000, Workers: 2}
+
+	plain, err := leaky.SweepCtx(context.Background(), f, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := leaky.NewTrace("leakysweep")
+	report, err := leaky.SweepCtx(tr.Context(context.Background()), f, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if got, want := report.Render(), plain.Render(); got != want {
+		t.Errorf("traced report differs from untraced:\n%s\nvs\n%s", got, want)
+	}
+
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := writeTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := leaky.ValidateChromeTrace(blob); len(problems) > 0 {
+		t.Errorf("-trace output is not a valid Chrome trace: %v", problems)
+	}
+	// The profile must contain the simulation's own stages, not just a
+	// root event.
+	for _, want := range []string{"sweep.spec", "channel.transmit", "channel.calibrate"} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("-trace output missing %q span", want)
+		}
+	}
+}

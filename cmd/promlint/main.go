@@ -1,0 +1,47 @@
+// Command promlint checks a Prometheus text-format exposition read from
+// stdin (or a file argument): every sample's family must declare # HELP
+// and # TYPE before its first sample, names must be unique and
+// well-formed, values must parse, and histogram families must carry
+// complete _bucket/_sum/_count series including the +Inf bucket. It is
+// the CI gate behind leakyfed's /metrics endpoint:
+//
+//	curl -fs localhost:8080/metrics | promlint
+//	promlint metrics.txt
+//
+// Exit status is 0 on a clean exposition, 1 with one problem per line on
+// stderr otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	flag.Parse()
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "promlint: at most one file argument (default stdin)")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	problems := obs.LintProm(r)
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "promlint: %s\n", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+}

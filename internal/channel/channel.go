@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/runctx"
 	"repro/internal/stats"
@@ -69,11 +70,14 @@ func Transmit(ch BitChannel, modelName, message string, calibBits int) Result {
 	return res
 }
 
-// TransmitCtx is Transmit with cooperative cancellation and progress:
-// it checkpoints once per calibration and message bit, returning the
-// context's error (and a zero Result) if the run is cancelled mid-
-// transmission. An uncancelled TransmitCtx is byte-identical to
-// Transmit — checkpoints never touch the channel or its RNG.
+// TransmitCtx is Transmit with cooperative cancellation, progress, and
+// tracing: it checkpoints once per calibration and message bit,
+// returning the context's error (and a zero Result) if the run is
+// cancelled mid-transmission. When rc carries a trace, the calibration
+// preamble and the per-bit transmit loop record as nested spans — at
+// stage granularity, not per bit, so tracing costs nothing inside the
+// loops. An uncancelled TransmitCtx is byte-identical to Transmit —
+// neither checkpoints nor spans touch the channel or its RNG.
 func TransmitCtx(rc runctx.Ctx, ch BitChannel, modelName, message string, calibBits int) (Result, error) {
 	if ca, ok := ch.(CtxAware); ok {
 		ca.BindCtx(rc)
@@ -83,19 +87,29 @@ func TransmitCtx(rc runctx.Ctx, ch BitChannel, modelName, message string, calibB
 	}
 	stage := ch.Name() + " @ " + modelName
 	total := calibBits + len(message)
-	th, err := calibrate(rc, ch, calibBits, stage, total)
+	rc, span := rc.StartSpan("channel.transmit",
+		obs.String("channel", ch.Name()),
+		obs.String("model", modelName),
+		obs.Int("bits", len(message)))
+	defer span.End()
+	crc, cspan := rc.StartSpan("channel.calibrate", obs.Int("calib_bits", calibBits))
+	th, err := calibrate(crc, ch, calibBits, stage, total)
+	cspan.End()
 	if err != nil {
 		return Result{}, err
 	}
+	rc, bspan := rc.StartSpan("channel.bits")
 	startCycles := ch.Cycles()
 	var received strings.Builder
 	for i := 0; i < len(message); i++ {
 		if err := rc.Step(stage, calibBits+i, total); err != nil {
+			bspan.End()
 			return Result{}, err
 		}
 		m := ch.SendBit(message[i])
 		received.WriteByte(th.Classify(m))
 	}
+	bspan.End()
 	// A CtxAware channel aborts mid-bit with a garbage measurement when
 	// cancelled; every loop above re-checks before the next bit, but a
 	// cancellation landing inside the final bit has no next checkpoint,

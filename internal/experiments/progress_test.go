@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/runctx"
+)
+
+// TestProgressAttribution proves every registry artifact reports
+// attributable progress: each event a run emits carries the artifact
+// name (stamped by the runner) and a non-empty stage, and every
+// artifact in the catalog emits at least one event even at minimal
+// scale — so an operator watching a progress stream can always tell
+// what is running.
+func TestProgressAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole registry")
+	}
+	arts := Default().Artifacts()
+	var mu sync.Mutex
+	events := map[string]int{} // artifact name -> events seen
+	sink := func(ev runctx.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Artifact == "" {
+			t.Errorf("event without artifact attribution: %+v", ev)
+		}
+		if ev.Stage == "" {
+			t.Errorf("event without stage: %+v", ev)
+		}
+		events[ev.Artifact]++
+	}
+	rc := runctx.New(nil, sink)
+	o := Opts{Bits: 2, Samples: 2, Seed: 1}
+	results := Runner{Opts: o, Workers: 4}.RunEmitCtx(rc, arts, nil)
+	for _, res := range results {
+		if res.Err != "" {
+			t.Errorf("%s did not complete: %s", res.Name, res.Err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, a := range arts {
+		if events[a.Name] == 0 {
+			t.Errorf("artifact %s emitted no progress events", a.Name)
+		}
+	}
+	for name := range events {
+		found := false
+		for _, a := range arts {
+			found = found || a.Name == name
+		}
+		if !found {
+			t.Errorf("progress attributed to unknown artifact %q", name)
+		}
+	}
+}

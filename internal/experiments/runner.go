@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -88,14 +89,23 @@ func (rn Runner) RunEmitCtx(rc RunCtx, arts []Artifact, emit func(Result)) []Res
 				if err := rc.Err(); err != nil {
 					res.Err = err.Error()
 				} else {
+					// Per-artifact span (no-op when rc is untraced); seed
+					// and name tie a profile track to the exact rerunnable
+					// artifact invocation.
+					arc, span := rc.WithArtifact(a.Name).StartSpan("artifact",
+						obs.String("artifact", a.Name),
+						obs.String("ref", a.Ref),
+						obs.String("seed", fmt.Sprint(ao.Seed)))
 					start := time.Now()
-					data, rendered, err := a.Run(rc.WithArtifact(a.Name), ao)
+					data, rendered, err := a.Run(arc, ao)
 					res.Elapsed = time.Since(start)
 					if err != nil {
 						res.Err = err.Error()
+						span.SetAttr("err", res.Err)
 					} else {
 						res.Rendered, res.Data = rendered, data
 					}
+					span.End()
 				}
 				results[i] = res
 				completions <- i

@@ -14,6 +14,7 @@ package fingerprint
 import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/runctx"
 	"repro/internal/stats"
@@ -60,6 +61,11 @@ func TraceCtx(rc runctx.Ctx, cfg Config, w victim.Workload) ([]float64, error) {
 	if !cfg.Model.HyperThreading {
 		panic("fingerprint: side channel needs a co-resident SMT victim")
 	}
+	rc, span := rc.StartSpan("fingerprint.trace",
+		obs.String("workload", w.Name),
+		obs.String("model", cfg.Model.Name),
+		obs.Int("samples", cfg.Samples))
+	defer span.End()
 	core := cpu.NewCore(cfg.Model, cfg.Seed)
 	r := rng.New(cfg.Seed).Fork(3)
 
@@ -129,6 +135,8 @@ func Study(cfg Config, suite []victim.Workload) Distances {
 // StudyCtx is Study with cooperative cancellation and progress; each
 // per-workload trace checkpoints per sample via TraceCtx.
 func StudyCtx(rc runctx.Ctx, cfg Config, suite []victim.Workload) (Distances, error) {
+	rc, span := rc.StartSpan("fingerprint.study", obs.Int("workloads", len(suite)))
+	defer span.End()
 	names := make([]string, len(suite))
 	run1 := make([][]float64, len(suite))
 	run2 := make([][]float64, len(suite))

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteNDJSON streams the trace's completed spans as NDJSON, one
+// SpanData object per line, in start order.
+func WriteNDJSON(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	for _, sd := range t.Spans() {
+		if err := enc.Encode(sd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event entry. The fields follow the
+// Trace Event Format: complete events (ph "X") carry a start timestamp
+// and duration in microseconds; metadata events (ph "M") name the
+// process and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace_event format, which
+// both about:tracing and Perfetto load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders the trace's completed spans as Chrome
+// trace_event JSON loadable in about:tracing or Perfetto. Complete
+// ("X") events require stack discipline per (pid, tid) track, but span
+// trees from concurrent sweep workers overlap freely, so spans are
+// assigned to synthetic tracks: a span takes its parent's track when it
+// nests inside the track's currently open span, otherwise the first
+// track whose open spans it nests in, otherwise a fresh track. The
+// assignment is deterministic given the span set.
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	spans := t.Spans()
+	lanes := assignLanes(spans)
+	events := make([]chromeEvent, 0, len(spans)+len(lanes)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": t.Name()},
+	})
+	maxLane := 0
+	for i, sd := range spans {
+		if lanes[i] > maxLane {
+			maxLane = lanes[i]
+		}
+		args := make(map[string]any, len(sd.Attrs)+2)
+		for k, v := range sd.Attrs {
+			args[k] = v
+		}
+		args["span_id"] = sd.ID
+		if sd.Parent != 0 {
+			args["parent_id"] = sd.Parent
+		}
+		events = append(events, chromeEvent{
+			Name: sd.Name,
+			Cat:  "sim",
+			Ph:   "X",
+			TS:   sd.StartUS,
+			Dur:  max(sd.DurUS, 1), // zero-width events vanish in viewers
+			PID:  1,
+			TID:  lanes[i],
+			Args: args,
+		})
+	}
+	for lane := 0; lane <= maxLane; lane++ {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: lane,
+			Args: map[string]any{"name": fmt.Sprintf("track %d", lane)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"trace": t.ID(), "start": t.Start().UTC().Format("2006-01-02T15:04:05.000Z")},
+	})
+}
+
+// ValidateChromeTrace checks blob against the Chrome trace_event JSON
+// schema subset this package emits: a traceEvents array whose entries
+// all carry name/ph/pid/tid, phases limited to complete ("X") and
+// metadata ("M") events, non-negative timestamps and durations, and —
+// per (pid, tid) track — complete events nesting like a call stack,
+// the invariant about:tracing and Perfetto need to render flames. It
+// returns one message per violation; empty means the document is a
+// loadable trace. Unit tests gate the exporters and cmd/leakysweep
+// -trace on it.
+func ValidateChromeTrace(blob []byte) []string {
+	var problems []string
+	var ct struct {
+		TraceEvents []struct {
+			Name *string `json:"name"`
+			Ph   *string `json:"ph"`
+			TS   *int64  `json:"ts"`
+			Dur  int64   `json:"dur"`
+			PID  *int    `json:"pid"`
+			TID  *int    `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(blob, &ct); err != nil {
+		return []string{fmt.Sprintf("not valid JSON: %v", err)}
+	}
+	if len(ct.TraceEvents) == 0 {
+		problems = append(problems, "no traceEvents")
+	}
+	if u := ct.DisplayTimeUnit; u != "" && u != "ms" && u != "ns" {
+		problems = append(problems, fmt.Sprintf("displayTimeUnit %q invalid (ms|ns)", u))
+	}
+	type track struct{ pid, tid int }
+	stacks := map[track][]int64{} // open interval end offsets per track
+	for i, ev := range ct.TraceEvents {
+		if ev.Name == nil || ev.Ph == nil || ev.PID == nil || ev.TID == nil {
+			problems = append(problems, fmt.Sprintf("event %d: missing required field", i))
+			continue
+		}
+		switch *ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			problems = append(problems, fmt.Sprintf("event %d: unexpected phase %q", i, *ev.Ph))
+			continue
+		}
+		if ev.TS == nil || *ev.TS < 0 || ev.Dur < 0 {
+			problems = append(problems, fmt.Sprintf("event %d (%s): bad ts/dur", i, *ev.Name))
+			continue
+		}
+		tr := track{*ev.PID, *ev.TID}
+		stack := stacks[tr]
+		start, end := *ev.TS, *ev.TS+ev.Dur
+		for len(stack) > 0 && stack[len(stack)-1] <= start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 && end > stack[len(stack)-1] {
+			problems = append(problems, fmt.Sprintf("event %d (%s): overlaps but does not nest on track %v", i, *ev.Name, tr))
+			continue
+		}
+		stacks[tr] = append(stack, end)
+	}
+	return problems
+}
+
+// assignLanes maps spans (sorted by start) to track numbers such that
+// within one track, spans nest like a call stack — the invariant
+// complete events need to render as a flame graph. Children prefer
+// their parent's track.
+func assignLanes(spans []SpanData) []int {
+	type openSpan struct{ start, end int64 }
+	var tracks [][]openSpan // per-track stack of open intervals
+	laneOf := make(map[uint64]int, len(spans))
+	lanes := make([]int, len(spans))
+
+	fits := func(lane int, start, end int64) bool {
+		stack := tracks[lane]
+		// Pop intervals that ended before this span starts.
+		for len(stack) > 0 && stack[len(stack)-1].end <= start {
+			stack = stack[:len(stack)-1]
+		}
+		tracks[lane] = stack
+		return len(stack) == 0 || (start >= stack[len(stack)-1].start && end <= stack[len(stack)-1].end)
+	}
+	for i, sd := range spans {
+		start, end := sd.StartUS, sd.StartUS+max(sd.DurUS, 1)
+		lane := -1
+		if pl, ok := laneOf[sd.Parent]; ok && fits(pl, start, end) {
+			lane = pl
+		} else {
+			for l := range tracks {
+				if fits(l, start, end) {
+					lane = l
+					break
+				}
+			}
+		}
+		if lane < 0 {
+			tracks = append(tracks, nil)
+			lane = len(tracks) - 1
+		}
+		tracks[lane] = append(tracks[lane], openSpan{start, end})
+		laneOf[sd.ID] = lane
+		lanes[i] = lane
+	}
+	return lanes
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket timing histogram with lock-free
+// observation, rendered in Prometheus text exposition format
+// (`_bucket`/`_sum`/`_count`). Buckets are cumulative, Prometheus
+// style: a bucket counts every observation at or below its upper
+// bound, and an implicit +Inf bucket counts everything.
+//
+// All methods are nil-safe no-ops on a nil *Histogram, so callers can
+// observe unconditionally and a zero Metrics literal (common in tests)
+// never panics.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, in seconds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sumUS  atomic.Int64 // sum in integer microseconds, to stay lock-free
+}
+
+// DefBuckets is the default latency bucket layout, in seconds: the
+// Prometheus client default, which spans queue waits of microseconds up
+// to multi-second paper-scale simulations.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (seconds); nil means DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && seconds > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(int64(seconds * 1e6))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values in seconds (microsecond
+// resolution).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumUS.Load()) / 1e6
+}
+
+// RenderProm writes the histogram's sample lines (no HELP/TYPE) for
+// the metric name: cumulative `name_bucket{le="..."}` rows including
+// +Inf, then `name_sum` and `name_count`. A nil histogram renders an
+// empty, well-formed histogram so the metric family never disappears
+// between scrapes.
+func (h *Histogram) RenderProm(b *strings.Builder, name string) {
+	var cum uint64
+	if h != nil {
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+	} else {
+		for _, bound := range DefBuckets {
+			fmt.Fprintf(b, "%s_bucket{le=%q} 0\n", name, formatBound(bound))
+		}
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+}
+
+// formatBound renders a bucket bound the way Prometheus does: shortest
+// round-trip decimal.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,273 @@
+// Package obs is the observability layer of the simulation stack: a
+// hierarchical span tracer, timing histograms, and exporters for the
+// traces it collects. Everything in this package follows the repo's
+// measurement discipline — observability records timing but must never
+// perturb the measured system. Spans hold wall-clock offsets only; they
+// never touch a simulation's RNG, cycle counters, or rendered bytes, so
+// a traced run's cached artifact bytes are identical to an untraced
+// run's (proven by test in the serving layer).
+//
+// A Trace owns one run's span tree: the run itself is the root span,
+// stages (calibration preamble, per-bit transmit, fingerprint sampling,
+// sweep shards, queue wait) nest under it. The current span travels in
+// a context.Context, so the tracer threads through the existing
+// cancellation plumbing without new parameters: obs.Start is a no-op
+// returning a nil span when the context carries no trace, and every
+// *Span method is nil-safe, so untraced runs pay one context lookup per
+// span boundary and nothing per unit of work.
+//
+// Completed traces export as NDJSON span streams (WriteNDJSON) or as
+// Chrome trace_event JSON (WriteChromeTrace) loadable in about:tracing
+// and Perfetto.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span: the spec CacheKey, the
+// artifact name, whether the result came from cache.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", v)} }
+
+// SpanData is one completed span, the unit both exporters consume. All
+// times are offsets from the trace's start, measured on the monotonic
+// clock, so a trace is internally consistent even across wall-clock
+// adjustments.
+type SpanData struct {
+	TraceID string            `json:"trace"`
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace collects the span tree of one run. It is safe for concurrent
+// use: sweep workers and parallel artifact goroutines start and end
+// spans on the shared trace. Create one with NewTrace — which opens the
+// root span — attach it to a context with Context, and close it with
+// Finish once the run is over.
+type Trace struct {
+	id    string
+	name  string
+	start time.Time // carries the monotonic reading; offsets derive from it
+
+	mu     sync.Mutex
+	nextID uint64
+	spans  []SpanData // completed spans, in end order
+	open   int        // spans started but not yet ended (root included)
+	onEnd  func(SpanData)
+	root   *Span
+}
+
+// traceSeq disambiguates auto-generated trace IDs within a process.
+var traceSeq atomic.Uint64
+
+// NewTrace opens a trace and its root span. id names the trace for
+// lookup (the daemon uses the request id); empty means an
+// auto-generated process-unique id. name labels the root span, e.g.
+// "GET /v1/run" or "leakysweep".
+func NewTrace(id, name string) *Trace {
+	if id == "" {
+		id = fmt.Sprintf("trace-%d", traceSeq.Add(1))
+	}
+	t := &Trace{id: id, name: name, start: time.Now()}
+	t.root = t.StartSpan(nil, name)
+	return t
+}
+
+// ID returns the trace's lookup id.
+func (t *Trace) ID() string { return t.id }
+
+// Name returns the root span's name.
+func (t *Trace) Name() string { return t.name }
+
+// Start returns the trace's wall-clock start.
+func (t *Trace) Start() time.Time { return t.start }
+
+// Root returns the root span, open until Finish.
+func (t *Trace) Root() *Span { return t.root }
+
+// Context returns ctx carrying the trace's root span, so spans started
+// downstream (obs.Start, runctx.Ctx.StartSpan) nest under the run.
+func (t *Trace) Context(ctx context.Context) context.Context {
+	return ContextWithSpan(ctx, t.root)
+}
+
+// Finish ends the root span. Spans still open elsewhere may end later;
+// they are recorded when they do.
+func (t *Trace) Finish() { t.root.End() }
+
+// OnSpanEnd registers fn to run synchronously whenever a span
+// completes, for streaming exporters that interleave spans into a live
+// response. fn must be safe for concurrent invocation (spans end on
+// whatever goroutine ran the work).
+func (t *Trace) OnSpanEnd(fn func(SpanData)) {
+	t.mu.Lock()
+	t.onEnd = fn
+	t.mu.Unlock()
+}
+
+// StartSpan opens a span under parent (nil parents to the root; the
+// root span itself is created with a nil parent before the root
+// exists). A nil *Trace returns a nil span, so untraced code paths
+// need no branches.
+func (t *Trace) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.open++
+	t.mu.Unlock()
+	var parentID uint64
+	if parent == nil {
+		if t.root != nil {
+			parent = t.root
+		}
+	}
+	if parent != nil {
+		parentID = parent.id
+	}
+	s := &Span{tr: t, id: id, parent: parentID, name: name, start: time.Since(t.start)}
+	for _, a := range attrs {
+		s.SetAttr(a.Key, a.Value)
+	}
+	return s
+}
+
+// Spans returns a snapshot of the completed spans, sorted by start
+// offset (ties by id, which increments in start order).
+func (t *Trace) Spans() []SpanData {
+	t.mu.Lock()
+	out := make([]SpanData, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartUS != out[j].StartUS {
+			return out[i].StartUS < out[j].StartUS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of completed spans.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Span is one timed region of a run. All methods are nil-safe: code
+// under an untraced context holds a nil span and every call is a no-op,
+// which is what keeps tracing an orthogonal concern at the call sites.
+type Span struct {
+	tr     *Trace
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Duration
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+// SetAttr annotates the span; the last write per key wins. No-op after
+// End, and on a nil span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.attrs == nil {
+			s.attrs = make(map[string]string)
+		}
+		s.attrs[k] = v
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span, recording it on its trace. Ending twice (or
+// ending a nil span) is a no-op, so defer span.End() composes with
+// early explicit ends.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Since(s.tr.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	sd := SpanData{
+		TraceID: s.tr.id,
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Microseconds(),
+		DurUS:   (end - s.start).Microseconds(),
+		Attrs:   attrs,
+	}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, sd)
+	s.tr.open--
+	fn := s.tr.onEnd
+	s.tr.mu.Unlock()
+	if fn != nil {
+		fn(sd)
+	}
+}
+
+// ctxKey carries the current span through a context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying span as the current parent for
+// Start.
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// SpanFrom returns the context's current span, or nil when the context
+// is untraced.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start opens a child of the context's current span and returns the
+// derived context plus the span to End. On an untraced context it
+// returns ctx unchanged and a nil span, so call sites need no
+// conditionals; the cost of that no-op path is one context value
+// lookup.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.tr.StartSpan(parent, name, attrs...)
+	return ContextWithSpan(ctx, s), s
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeAndNilSafety(t *testing.T) {
+	tr := NewTrace("t1", "root")
+	ctx := tr.Context(context.Background())
+
+	ctx2, s1 := Start(ctx, "stage", String("k", "v"))
+	if s1 == nil {
+		t.Fatal("traced context returned nil span")
+	}
+	_, s2 := Start(ctx2, "inner")
+	s2.SetAttr("n", "1")
+	s2.End()
+	s2.End() // double End is a no-op
+	s1.End()
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("want 3 spans, got %d: %+v", len(spans), spans)
+	}
+	// Start order: root, stage, inner; root has no parent.
+	if spans[0].Name != "root" || spans[0].Parent != 0 {
+		t.Errorf("root span wrong: %+v", spans[0])
+	}
+	if spans[1].Name != "stage" || spans[1].Parent != spans[0].ID {
+		t.Errorf("stage span wrong: %+v", spans[1])
+	}
+	if spans[2].Name != "inner" || spans[2].Parent != spans[1].ID {
+		t.Errorf("inner span wrong: %+v", spans[2])
+	}
+	if spans[1].Attrs["k"] != "v" || spans[2].Attrs["n"] != "1" {
+		t.Errorf("attrs lost: %+v", spans)
+	}
+
+	// Untraced context: Start returns nil spans; all methods no-op.
+	_, s := Start(context.Background(), "x")
+	if s != nil {
+		t.Fatal("untraced context returned a span")
+	}
+	s.SetAttr("a", "b")
+	s.End()
+	var nilTrace *Trace
+	if sp := nilTrace.StartSpan(nil, "y"); sp != nil {
+		t.Fatal("nil trace returned a span")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("", "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := tr.StartSpan(nil, "work")
+				sp.SetAttr("j", "x")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := tr.Len(); got != 16*50+1 {
+		t.Fatalf("want %d spans, got %d", 16*50+1, got)
+	}
+}
+
+func TestOnSpanEndStreams(t *testing.T) {
+	tr := NewTrace("", "root")
+	var names []string
+	tr.OnSpanEnd(func(sd SpanData) { names = append(names, sd.Name) })
+	_, s := Start(tr.Context(context.Background()), "a")
+	s.End()
+	tr.Finish()
+	if strings.Join(names, ",") != "a,root" {
+		t.Fatalf("OnSpanEnd order: %v", names)
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	tr := NewTrace("nd", "root")
+	_, s := Start(tr.Context(context.Background()), "stage", String("artifact", "tableI"))
+	s.End()
+	tr.Finish()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var sd SpanData
+		if err := json.Unmarshal([]byte(line), &sd); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if sd.TraceID != "nd" || sd.Name == "" {
+			t.Errorf("span line incomplete: %+v", sd)
+		}
+	}
+}
+
+func TestWriteChromeTraceValidates(t *testing.T) {
+	tr := NewTrace("ct", "sweep")
+	ctx := tr.Context(context.Background())
+	// Two overlapping worker span trees force the lane assignment to
+	// split tracks.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c2, outer := Start(ctx, "spec")
+			for i := 0; i < 3; i++ {
+				_, inner := Start(c2, "transmit")
+				inner.End()
+			}
+			outer.End()
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if probs := ValidateChromeTrace(buf.Bytes()); len(probs) != 0 {
+		t.Fatalf("chrome trace invalid: %v", probs)
+	}
+
+	// Corrupted documents must be flagged.
+	for name, bad := range map[string]string{
+		"not json":      "{",
+		"no events":     `{"traceEvents":[],"displayTimeUnit":"ms"}`,
+		"missing field": `{"traceEvents":[{"ph":"X","ts":0,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`,
+		"bad phase":     `{"traceEvents":[{"name":"a","ph":"Q","ts":0,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`,
+	} {
+		if probs := ValidateChromeTrace([]byte(bad)); len(probs) == 0 {
+			t.Errorf("%s: not flagged", name)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	var b strings.Builder
+	h.RenderProm(&b, "x_seconds")
+	out := b.String()
+	for _, want := range []string{
+		`x_seconds_bucket{le="0.1"} 1`,
+		`x_seconds_bucket{le="1"} 3`,
+		`x_seconds_bucket{le="10"} 4`,
+		`x_seconds_bucket{le="+Inf"} 5`,
+		`x_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram render missing %q:\n%s", want, out)
+		}
+	}
+	if h.Sum() < 56 || h.Sum() > 56.1 {
+		t.Errorf("sum %v", h.Sum())
+	}
+	// Nil histogram: no-ops and an empty well-formed render.
+	var nh *Histogram
+	nh.Observe(1)
+	var nb strings.Builder
+	nh.RenderProm(&nb, "nil_seconds")
+	if !strings.Contains(nb.String(), `nil_seconds_bucket{le="+Inf"} 0`) {
+		t.Errorf("nil histogram render:\n%s", nb.String())
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(2)
+	a, b, c := NewTrace("a", "a"), NewTrace("b", "b"), NewTrace("c", "c")
+	r.Add(a)
+	r.Add(b)
+	r.Add(c) // evicts a
+	if _, ok := r.Get("a"); ok {
+		t.Error("evicted trace still resolves")
+	}
+	if got, ok := r.Get("b"); !ok || got != b {
+		t.Error("trace b lost")
+	}
+	list := r.List()
+	if len(list) != 2 || list[0] != c || list[1] != b {
+		t.Errorf("list order wrong: %v", list)
+	}
+}
+
+func TestLintProm(t *testing.T) {
+	clean := `# HELP x_total things
+# TYPE x_total counter
+x_total 3
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 0.5
+lat_seconds_count 2
+`
+	if probs := LintProm(strings.NewReader(clean)); len(probs) != 0 {
+		t.Fatalf("clean output flagged: %v", probs)
+	}
+	for name, bad := range map[string]string{
+		"no help":        "# TYPE y_total counter\ny_total 1\n",
+		"no type":        "# HELP y_total t\ny_total 1\n",
+		"dup type":       "# HELP y_total t\n# TYPE y_total counter\n# TYPE y_total counter\ny_total 1\n",
+		"bad value":      "# HELP y_total t\n# TYPE y_total counter\ny_total abc\n",
+		"no inf bucket":  "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 0\nh_sum 0\nh_count 0\n",
+		"no samples":     "# HELP y_total t\n# TYPE y_total counter\n",
+		"bad type kind":  "# HELP y_total t\n# TYPE y_total blah\ny_total 1\n",
+		"malformed line": "# HELP y_total t\n# TYPE y_total counter\ny_total\n",
+	} {
+		if probs := LintProm(strings.NewReader(bad)); len(probs) == 0 {
+			t.Errorf("%s: not flagged:\n%s", name, bad)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintProm is a minimal Prometheus text-exposition-format checker, the
+// one CI runs over a booted daemon's /metrics. It enforces the
+// contract the serving layer promises:
+//
+//   - every sample belongs to a metric family with a # HELP and a
+//     # TYPE line seen before the first sample,
+//   - no family declares HELP or TYPE twice,
+//   - metric names are valid, values parse as floats,
+//   - histogram families expose _bucket, _sum and _count samples and a
+//     +Inf bucket.
+//
+// It returns one message per problem; an empty slice means the output
+// is clean.
+func LintProm(r io.Reader) []string {
+	var problems []string
+	help := map[string]bool{}
+	typ := map[string]string{}
+	sampled := map[string]bool{}
+	histSuffix := map[string]map[string]bool{} // family -> suffixes seen
+	histInf := map[string]bool{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name, rest, ok := splitMeta(line, "# HELP ")
+			if !ok || rest == "" {
+				problems = append(problems, fmt.Sprintf("line %d: malformed HELP line: %s", n, line))
+				continue
+			}
+			if help[name] {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate HELP for %s", n, name))
+			}
+			help[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			name, kind, ok := splitMeta(line, "# TYPE ")
+			if !ok {
+				problems = append(problems, fmt.Sprintf("line %d: malformed TYPE line: %s", n, line))
+				continue
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				problems = append(problems, fmt.Sprintf("line %d: unknown metric type %q for %s", n, kind, name))
+			}
+			if _, dup := typ[name]; dup {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for %s", n, name))
+			}
+			if sampled[name] {
+				problems = append(problems, fmt.Sprintf("line %d: TYPE for %s after its samples", n, name))
+			}
+			typ[name] = kind
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal and ignored.
+		default:
+			name, labels, value, ok := parseSample(line)
+			if !ok {
+				problems = append(problems, fmt.Sprintf("line %d: malformed sample: %s", n, line))
+				continue
+			}
+			if !metricName.MatchString(name) {
+				problems = append(problems, fmt.Sprintf("line %d: invalid metric name %q", n, name))
+			}
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				problems = append(problems, fmt.Sprintf("line %d: unparseable value %q for %s", n, value, name))
+			}
+			family := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && typ[base] == "histogram" {
+					family = base
+					if histSuffix[base] == nil {
+						histSuffix[base] = map[string]bool{}
+					}
+					histSuffix[base][suffix] = true
+					if suffix == "_bucket" && strings.Contains(labels, `le="+Inf"`) {
+						histInf[base] = true
+					}
+					break
+				}
+			}
+			if !help[family] {
+				problems = append(problems, fmt.Sprintf("line %d: sample %s without a preceding HELP for %s", n, name, family))
+			}
+			if _, ok := typ[family]; !ok {
+				problems = append(problems, fmt.Sprintf("line %d: sample %s without a preceding TYPE for %s", n, name, family))
+			}
+			sampled[family] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("read: %v", err))
+	}
+	for family, kind := range typ {
+		if !sampled[family] {
+			problems = append(problems, fmt.Sprintf("family %s declared but has no samples", family))
+		}
+		if kind != "histogram" {
+			continue
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if !histSuffix[family][suffix] {
+				problems = append(problems, fmt.Sprintf("histogram %s missing %s samples", family, suffix))
+			}
+		}
+		if !histInf[family] {
+			problems = append(problems, fmt.Sprintf("histogram %s missing the le=\"+Inf\" bucket", family))
+		}
+	}
+	return problems
+}
+
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// splitMeta parses "# HELP name text" / "# TYPE name kind" lines.
+func splitMeta(line, prefix string) (name, rest string, ok bool) {
+	body := strings.TrimPrefix(line, prefix)
+	name, rest, found := strings.Cut(body, " ")
+	if !found || name == "" {
+		return "", "", false
+	}
+	return name, strings.TrimSpace(rest), true
+}
+
+// parseSample splits a sample line into name, label block, and value.
+// Timestamps (a legal optional third column) are tolerated.
+func parseSample(line string) (name, labels, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", false
+		}
+		name, labels, rest = rest[:i], rest[i:j+1], strings.TrimSpace(rest[j+1:])
+	} else {
+		var found bool
+		name, rest, found = strings.Cut(rest, " ")
+		if !found {
+			return "", "", "", false
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", false
+	}
+	return name, labels, fields[0], true
+}

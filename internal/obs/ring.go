@@ -1,0 +1,58 @@
+package obs
+
+import "sync"
+
+// Ring keeps the last N completed traces for post-hoc inspection (the
+// daemon's GET /v1/traces). Adding past capacity evicts the oldest;
+// an evicted trace's id stops resolving, which is the retention
+// contract — traces are a debugging window, not an archive.
+type Ring struct {
+	mu    sync.Mutex
+	cap   int
+	order []*Trace // oldest first
+}
+
+// NewRing builds a ring holding up to n traces; n <= 0 means 32.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 32
+	}
+	return &Ring{cap: n}
+}
+
+// Add records a completed trace, evicting the oldest past capacity.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.order = append(r.order, t)
+	if len(r.order) > r.cap {
+		r.order = append([]*Trace(nil), r.order[len(r.order)-r.cap:]...)
+	}
+	r.mu.Unlock()
+}
+
+// Get returns the trace with the given id, newest first on duplicate
+// ids.
+func (r *Ring) Get(id string) (*Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.order) - 1; i >= 0; i-- {
+		if r.order[i].ID() == id {
+			return r.order[i], true
+		}
+	}
+	return nil, false
+}
+
+// List returns the retained traces, newest first.
+func (r *Ring) List() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, len(r.order))
+	for i, t := range r.order {
+		out[len(r.order)-1-i] = t
+	}
+	return out
+}

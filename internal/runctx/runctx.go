@@ -1,6 +1,6 @@
-// Package runctx threads cancellation and progress reporting through
-// the simulation stack. A Ctx pairs a context.Context with a progress
-// sink; the expensive inner loops — covert-channel bit loops,
+// Package runctx threads cancellation, progress reporting, and tracing
+// through the simulation stack. A Ctx pairs a context.Context with a
+// progress sink; the expensive inner loops — covert-channel bit loops,
 // fingerprint trace sampling, Spectre chunk leaks, experiment sweeps —
 // call Step once per unit of work, which emits a progress tick and
 // reports whether the run has been cancelled. Checkpoints never touch
@@ -8,12 +8,24 @@
 // is byte-identical with or without a context attached; cancellation
 // only ever discards work, it cannot change completed results.
 //
-// The zero Ctx is valid: it is never cancelled and discards progress,
-// so context-free callers (tests, the public convenience API) pass
-// Background() and pay two nil checks per checkpoint.
+// Tracing rides the same discipline: StartSpan opens an internal/obs
+// span when the underlying context carries a trace and is a no-op
+// otherwise. Spans record wall-clock timing only — never simulation
+// state — so a traced run's artifact bytes are identical to an
+// untraced run's (the serving layer proves this byte-for-byte in its
+// tests).
+//
+// The zero Ctx is valid: it is never cancelled, discards progress, and
+// traces nothing, so context-free callers (tests, the public
+// convenience API) pass Background() and pay two nil checks per
+// checkpoint.
 package runctx
 
-import "context"
+import (
+	"context"
+
+	"repro/internal/obs"
+)
 
 // Event is one progress tick from inside a running artifact.
 type Event struct {
@@ -94,4 +106,24 @@ func (c Ctx) Tick(stage string, done, total int) {
 func (c Ctx) Step(stage string, done, total int) error {
 	c.Tick(stage, done, total)
 	return c.Err()
+}
+
+// StartSpan opens a trace span named name under the context's current
+// span and returns the derived Ctx (for nested spans) plus the span to
+// End. When the underlying context carries no trace — the zero Ctx,
+// and every untraced run — it returns the receiver unchanged and a nil
+// span whose End is a no-op, so call sites stay unconditional. Spans
+// are called at stage boundaries (a calibration preamble, a whole
+// transmit loop), never per unit of work, so tracing adds no per-bit
+// cost.
+func (c Ctx) StartSpan(name string, attrs ...obs.Attr) (Ctx, *obs.Span) {
+	if c.ctx == nil {
+		return c, nil
+	}
+	ctx, span := obs.Start(c.ctx, name, attrs...)
+	if span == nil {
+		return c, nil
+	}
+	c.ctx = ctx
+	return c, span
 }

@@ -1,0 +1,56 @@
+package runctx
+
+import "sync"
+
+// NonBlocking decouples a slow sink from the simulation loop: events
+// queue on a bounded buffer drained by one goroutine, and when the
+// buffer is full new events are dropped rather than blocking the
+// producer. Progress is advisory — every consumer already throttles or
+// samples it — so dropping under pressure is correct, while blocking
+// would let a stalled HTTP client hold a simulation slot hostage.
+//
+// The returned stop function waits for queued events to drain and the
+// delivery goroutine to exit; after stop returns, sink is never called
+// again. buffer <= 0 means 64.
+func NonBlocking(sink Sink, buffer int) (Sink, func()) {
+	if sink == nil {
+		return nil, func() {}
+	}
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			sink(ev)
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() { close(ch) })
+		<-done
+	}
+	var mu sync.Mutex
+	closed := false
+	return func(ev Event) {
+			// The closed flag makes a post-stop tick a silent drop instead of
+			// a send on a closed channel. Ticks arrive from simulation
+			// goroutines that can outlive the consumer (detached flights).
+			mu.Lock()
+			defer mu.Unlock()
+			if closed {
+				return
+			}
+			select {
+			case ch <- ev:
+			default: // buffer full: drop, never block the simulation
+			}
+		}, func() {
+			mu.Lock()
+			closed = true
+			mu.Unlock()
+			stop()
+		}
+}

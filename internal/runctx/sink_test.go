@@ -1,0 +1,83 @@
+package runctx
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNonBlockingSlowSink proves a stalled consumer cannot block the
+// simulation loop: with the delivery goroutine wedged and the buffer
+// full, every further Step returns immediately (events drop instead of
+// queueing), so a slow HTTP client can never hold a simulation slot
+// hostage.
+func TestNonBlockingSlowSink(t *testing.T) {
+	release := make(chan struct{})
+	var delivered atomic.Int64
+	blocking := func(Event) {
+		<-release // wedge the consumer until the loop has finished
+		delivered.Add(1)
+	}
+	sink, stop := NonBlocking(blocking, 4)
+	rc := New(nil, sink)
+
+	const steps = 10_000
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		if err := rc.Step("inner loop", i, steps); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	// The wedged sink has delivered nothing, yet the loop is done. The
+	// bound is generous — the point is "milliseconds, not wedged".
+	if elapsed > 5*time.Second {
+		t.Fatalf("simulation loop took %v behind a wedged sink", elapsed)
+	}
+	if n := delivered.Load(); n != 0 {
+		t.Fatalf("wedged sink delivered %d events mid-loop", n)
+	}
+
+	close(release)
+	stop()
+	// After stop, the buffered prefix (first event blocked in the sink
+	// + up to 4 queued) has drained; everything else was dropped.
+	n := delivered.Load()
+	if n == 0 || n > 5 {
+		t.Fatalf("delivered %d events after drain, want 1..5", n)
+	}
+	sink(Event{Stage: "late"}) // post-stop ticks drop silently
+	if m := delivered.Load(); m != n {
+		t.Errorf("post-stop tick was delivered (%d -> %d)", n, m)
+	}
+}
+
+// TestNonBlockingDelivers proves the decoupling is not lossy when the
+// consumer keeps up: a fast sink sees events in order.
+func TestNonBlockingDelivers(t *testing.T) {
+	var got []Event
+	done := make(chan struct{})
+	sink, stop := NonBlocking(func(ev Event) {
+		got = append(got, ev) // single delivery goroutine: no race
+		if len(got) == 3 {
+			close(done)
+		}
+	}, 0)
+	sink(Event{Stage: "a", Done: 1})
+	sink(Event{Stage: "b", Done: 2})
+	sink(Event{Stage: "c", Done: 3})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("events not delivered")
+	}
+	stop()
+	if len(got) != 3 || got[0].Stage != "a" || got[2].Stage != "c" {
+		t.Fatalf("delivered %+v", got)
+	}
+	if s, st := NonBlocking(nil, 0); s != nil {
+		t.Error("NonBlocking(nil) should return a nil sink")
+	} else {
+		st() // stop on the nil wrapper is a no-op
+	}
+}

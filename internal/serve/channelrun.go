@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runctx"
 	"repro/internal/spec"
 )
@@ -104,13 +105,23 @@ func (s *Server) ChannelRun(ctx context.Context, cs spec.ChannelSpec, o experime
 // and valid.
 func (s *Server) channelResult(ctx context.Context, cs spec.ChannelSpec, bits int, admitJob bool) (experiments.Result, error) {
 	key := channelRunKey(cs, bits)
+	cctx, span := obs.Start(ctx, "compute", obs.String("cachekey", key))
+	defer span.End()
+	ctx = cctx
 	if res, hit := s.cache.Get(key); hit {
 		s.metrics.CacheHits.Add(1)
+		span.SetAttr("cache", "hit")
 		return res, nil
 	}
 	res, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) (experiments.Result, error) {
+		// Re-attach the leader's trace onto the lifecycle-derived flight
+		// context, as compute does for artifacts.
+		if sp := obs.SpanFrom(ctx); sp != nil {
+			fctx = obs.ContextWithSpan(fctx, sp)
+		}
 		if res, hit := s.cache.Get(key); hit {
 			s.metrics.CacheHits.Add(1)
+			span.SetAttr("cache", "hit")
 			return res, nil
 		}
 		if admitJob {
@@ -128,6 +139,7 @@ func (s *Server) channelResult(ctx context.Context, cs spec.ChannelSpec, bits in
 	})
 	if shared && err == nil {
 		s.metrics.Deduplicated.Add(1)
+		span.SetAttr("cache", "dedup")
 	}
 	return res, err
 }
@@ -136,19 +148,30 @@ func (s *Server) channelResult(ctx context.Context, cs spec.ChannelSpec, bits in
 // Mirroring run, a cancelled transmission unwinds at its next per-bit
 // checkpoint, returns an error, and caches nothing.
 func (s *Server) runChannel(ctx context.Context, cs spec.ChannelSpec, bits int) (experiments.Result, error) {
+	wctx, qspan := obs.Start(ctx, "queue.wait", obs.String("spec", cs.String()))
+	waitStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
+		qspan.End()
+		s.metrics.QueueWaitSeconds.Observe(time.Since(waitStart).Seconds())
 		s.metrics.Cancellations.Add(1)
 		return experiments.Result{}, ctx.Err()
 	}
+	qspan.End()
+	s.metrics.QueueWaitSeconds.Observe(time.Since(waitStart).Seconds())
 	s.metrics.InFlight.Add(1)
+	runStart := time.Now()
 	defer func() {
+		s.metrics.RunSeconds.Observe(time.Since(runStart).Seconds())
 		s.metrics.InFlight.Add(-1)
 		<-s.sem
 	}()
 	s.metrics.CacheMisses.Add(1)
-	tres, err := cs.TransmitCtx(runctx.New(ctx, nil), channel.Alternating(bits))
+	rctx, rspan := obs.Start(wctx, "run",
+		obs.String("spec", cs.String()), obs.String("cache", "miss"))
+	defer rspan.End()
+	tres, err := cs.TransmitCtx(runctx.New(rctx, nil), channel.Alternating(bits))
 	if err != nil {
 		s.metrics.Cancellations.Add(1)
 		return experiments.Result{}, err

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runctx"
 	"repro/internal/spec"
 	"repro/internal/sweep"
@@ -49,10 +51,23 @@ import (
 //	                                  ?format=json|text, ?seed=, ?bits=,
 //	                                  ?calib=, ?maxp= scale the
 //	                                  underlying defense-spanning sweep
+//	GET /v1/traces                    index of retained request traces
+//	                                  (?trace=1 runs), newest first
+//	GET /v1/traces/{id}               one retained trace;
+//	                                  ?format=json|ndjson|chrome — chrome
+//	                                  is trace_event JSON loadable in
+//	                                  about:tracing / Perfetto
 //	GET /healthz                      liveness probe (503 once the job
 //	                                  queue has been full for more than
 //	                                  one poll interval)
-//	GET /metrics                      Prometheus text counters
+//	GET /metrics                      Prometheus text counters and
+//	                                  latency histograms
+//
+// Every request passes through one middleware that assigns a request id
+// (echoed as X-Request-Id and used as the trace id under ?trace=1),
+// observes wall-clock latency into leakyfed_request_seconds, and logs
+// one structured line — level WARN with the response status for
+// 4xx/5xx, INFO otherwise.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/artifacts", s.handleCatalog)
@@ -62,12 +77,74 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/channels/run", s.handleChannelRun)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /v1/advisories/{model}", s.handleAdvisory)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Requests.Add(1)
-		mux.ServeHTTP(w, r)
+		id := fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.RequestSeconds.Observe(elapsed.Seconds())
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		lvl, msg := slog.LevelInfo, "request"
+		if code >= 400 {
+			lvl, msg = slog.LevelWarn, "request failed"
+		}
+		s.logger.LogAttrs(r.Context(), lvl, msg,
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", code),
+			slog.Duration("elapsed", elapsed))
 	})
+}
+
+// requestIDKey carries the middleware-assigned request id through the
+// request context, into log lines and trace ids.
+type requestIDKey struct{}
+
+// requestIDFrom returns the request id, or "" outside the middleware
+// (direct Server method calls).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusWriter records the response status for the request log line. It
+// forwards Flush so streaming handlers behind the middleware still see
+// an http.Flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // catalogEntry is one /v1/artifacts row.
@@ -131,6 +208,62 @@ type progressLine struct {
 // progressMinInterval throttles progress lines on a stream: inner loops
 // tick per bit/sample, which is far finer than any client needs.
 const progressMinInterval = 100 * time.Millisecond
+
+// spanLine is the NDJSON envelope for one completed span on a ?trace=1
+// stream; like progress lines, span lines are additive — stripping them
+// yields the exact untraced stream.
+type spanLine struct {
+	Span obs.SpanData `json:"span"`
+}
+
+// traceLine is the stream's final trace summary under ?trace=1. The full
+// span tree stays retrievable at /v1/traces/{id}.
+type traceLine struct {
+	Trace traceSummary `json:"trace"`
+}
+
+// traceSummary is one /v1/traces index row.
+type traceSummary struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	Spans int       `json:"spans"`
+}
+
+// boolParam parses a 0|1|true|false query parameter ("" is false).
+func boolParam(v, name string) (bool, error) {
+	switch v {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	}
+	return false, fmt.Errorf("bad %s %q: want 0|1", name, v)
+}
+
+// startTrace opens a request trace named for the endpoint, keyed by the
+// middleware's request id, and returns the run context carrying it. The
+// returned finish interleaves completed spans into sw as they end, and
+// must be called (deferred) to close the root span, write the final
+// {"trace": ...} summary line, and retain the trace for /v1/traces.
+func (s *Server) startTrace(ctx context.Context, runCtx context.Context, name string, sw *streamWriter, attrs ...obs.Attr) (context.Context, func()) {
+	tr := obs.NewTrace(requestIDFrom(ctx), name)
+	for _, a := range attrs {
+		tr.Root().SetAttr(a.Key, a.Value)
+	}
+	tr.OnSpanEnd(func(sd obs.SpanData) {
+		sw.writeLine(spanLine{Span: sd})
+	})
+	finish := func() {
+		tr.Finish()
+		sw.writeLine(traceLine{Trace: traceSummary{
+			ID: tr.ID(), Name: tr.Name(), Start: tr.Start(), Spans: tr.Len(),
+		}})
+		s.traces.Add(tr)
+		s.metrics.Traces.Add(1)
+	}
+	return tr.Context(runCtx), finish
+}
 
 // streamWriter serializes NDJSON result and progress lines onto one
 // response. Progress ticks arrive from simulation goroutines that can
@@ -213,13 +346,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	progress := false
-	switch v := q.Get("progress"); v {
-	case "", "0", "false":
-	case "1", "true":
-		progress = true
-	default:
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad progress %q: want 0|1", v))
+	progress, err := boolParam(q.Get("progress"), "progress")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	traced, err := boolParam(q.Get("trace"), "trace")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	var patterns []string
@@ -264,10 +398,44 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	sw := &streamWriter{enc: json.NewEncoder(w), flusher: flusher}
 	defer sw.close()
+
+	// The stream's run context decides what a disconnect means. With
+	// CancelAbandoned it is the request context: a disconnect skips
+	// unstarted artifacts and abandons (thereby cancelling, if unshared)
+	// the in-flight ones. Otherwise it is the server lifecycle: the
+	// stream keeps simulating into the cache exactly as before, and only
+	// Close stops it.
+	runCtx := s.lifecycle
+	if s.cancelAbandoned {
+		runCtx = r.Context()
+	}
+	if traced {
+		var finish func()
+		runCtx, finish = s.startTrace(r.Context(), runCtx, "GET /v1/run", sw,
+			obs.String("sel", strings.Join(patterns, ",")))
+		defer finish()
+	}
+	var sink runctx.Sink
+	if progress {
+		// The sink is decoupled from the simulation by a bounded buffer:
+		// a client draining its stream slowly loses progress lines, never
+		// simulation throughput.
+		nb, stop := runctx.NonBlocking(sw.writeProgress, 0)
+		sink = nb
+		defer stop()
+	}
+
 	next := 0 // next catalog-order index to emit
 	emitReady := func(limit int) {
 		for next <= limit {
+			src := "miss"
+			if cached[next] {
+				src = "hit"
+			}
+			_, rsp := obs.Start(runCtx, "render",
+				obs.String("artifact", arts[next].Name), obs.String("cache", src))
 			sw.writeResult(results[next])
+			rsp.End()
 			next++
 		}
 		sw.flush()
@@ -280,21 +448,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if firstMissing > 0 {
 		emitReady(firstMissing - 1)
-	}
-
-	// The stream's run context decides what a disconnect means. With
-	// CancelAbandoned it is the request context: a disconnect skips
-	// unstarted artifacts and abandons (thereby cancelling, if unshared)
-	// the in-flight ones. Otherwise it is the server lifecycle: the
-	// stream keeps simulating into the cache exactly as before, and only
-	// Close stops it.
-	runCtx := s.lifecycle
-	if s.cancelAbandoned {
-		runCtx = r.Context()
-	}
-	var sink runctx.Sink
-	if progress {
-		sink = sw.writeProgress
 	}
 
 	// Each missing artifact resolves through the flight group (which
@@ -403,6 +556,49 @@ func (s *Server) handleChannelRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, res)
+}
+
+// handleTraces lists the retained request traces, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	list := s.traces.List()
+	entries := make([]traceSummary, len(list))
+	for i, tr := range list {
+		entries[i] = traceSummary{ID: tr.ID(), Name: tr.Name(), Start: tr.Start(), Spans: tr.Len()}
+	}
+	s.writeJSON(w, entries)
+}
+
+// traceDetail is the ?format=json body of GET /v1/traces/{id}.
+type traceDetail struct {
+	ID    string         `json:"id"`
+	Name  string         `json:"name"`
+	Start time.Time      `json:"start"`
+	Spans []obs.SpanData `json:"spans"`
+}
+
+// handleTrace serves one retained trace: the span tree as JSON
+// (default), an NDJSON span stream, or Chrome trace_event JSON
+// (?format=chrome) loadable directly in about:tracing or
+// https://ui.perfetto.dev.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown trace %q (only recent ?trace=1 requests are retained)", id))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		s.writeJSON(w, traceDetail{ID: tr.ID(), Name: tr.Name(), Start: tr.Start(), Spans: tr.Spans()})
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		obs.WriteNDJSON(w, tr)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, tr)
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json|ndjson|chrome)", format))
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// tracedSweepBody is the one-model sweep request the tracing tests run:
+// real simulations (eviction channels on one model) small enough to
+// finish in well under a second.
+const tracedSweepBody = `{"filter": "mech=eviction,thread=nonmt,sink=timing,sgx=false,model=Xeon E-2174G", "opts": {"bits": 16}, "maxp": 2000}`
+
+// postSweepQuery is postSweep with a query string (for ?trace=1) and
+// the full response (for X-Request-Id).
+func postSweepQuery(t *testing.T, ts *httptest.Server, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweeps"+query, "application/json", strings.NewReader(tracedSweepBody))
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps%s: %v", query, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading sweep stream: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+// stripTraceLines removes the {"span": ...} and {"trace": ...} envelope
+// lines a ?trace=1 stream interleaves, returning the residual stream.
+func stripTraceLines(body []byte) []byte {
+	var out bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, `{"span":`) || strings.HasPrefix(line, `{"trace":`) {
+			continue
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// TestTracedSweepByteIdentity is the acceptance test for the tracing
+// discipline: a real simulation run with ?trace=1 (spans recording all
+// the way down to the channel's calibration and bit loops, histograms
+// observing) must produce a stream that, after stripping the additive
+// span/trace lines, is byte-identical to an untraced run on a fresh
+// server — tracing never perturbs simulation output.
+func TestTracedSweepByteIdentity(t *testing.T) {
+	plainSrv := NewServer(Config{Registry: countingRegistry(new(atomic.Int64), 0, "alpha")})
+	plain := httptest.NewServer(plainSrv.Handler())
+	defer plain.Close()
+	tracedSrv := NewServer(Config{Registry: countingRegistry(new(atomic.Int64), 0, "alpha")})
+	traced := httptest.NewServer(tracedSrv.Handler())
+	defer traced.Close()
+
+	_, plainBody := postSweepQuery(t, plain, "")
+	resp, tracedBody := postSweepQuery(t, traced, "?trace=1")
+
+	if got := stripTraceLines(tracedBody); !bytes.Equal(got, plainBody) {
+		t.Errorf("traced stream (span/trace lines stripped) differs from untraced:\n%s\nvs\n%s", got, plainBody)
+	}
+	if bytes.Equal(tracedBody, plainBody) {
+		t.Fatalf("traced stream carries no span lines:\n%s", tracedBody)
+	}
+	// The spans must reach the simulation's own stages, not just the
+	// HTTP shell: the channel calibration/bit loops and the sweep shard.
+	for _, want := range []string{`"name":"channel.transmit"`, `"name":"channel.calibrate"`, `"name":"channel.bits"`, `"name":"sweep.spec"`, `"name":"queue.wait"`, `"name":"run"`} {
+		if !strings.Contains(string(tracedBody), want) {
+			t.Errorf("traced stream missing span %s", want)
+		}
+	}
+	// The trace is retained under the request id for post-hoc export.
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id header on traced response")
+	}
+	if !strings.Contains(string(tracedBody), fmt.Sprintf(`{"trace":{"id":%q`, id)) {
+		t.Errorf("stream's final trace summary does not carry request id %q:\n%s", id, tracedBody)
+	}
+
+	// Re-running the same sweep traced serves every row from cache:
+	// byte-identical rows again, and the trace records the cache hits.
+	_, again := postSweepQuery(t, traced, "?trace=1")
+	if got := stripTraceLines(again); !bytes.Equal(got, plainBody) {
+		t.Errorf("traced cache-hit stream differs from untraced:\n%s\nvs\n%s", got, plainBody)
+	}
+	if !strings.Contains(string(again), `"name":"cache.hit"`) {
+		t.Errorf("cache-hit rerun recorded no cache.hit span:\n%s", again)
+	}
+}
+
+// TestTracedRunStream covers ?trace=1 on GET /v1/run: span lines
+// interleave with result lines, stripping them restores the untraced
+// stream, and per-artifact render spans land in the trace.
+func TestTracedRunStream(t *testing.T) {
+	// Fresh server per request: both runs must actually simulate (a
+	// cache-hit rerun would record no artifact spans).
+	plainTS := httptest.NewServer(NewServer(Config{Registry: countingRegistry(new(atomic.Int64), 0, "alpha", "beta")}).Handler())
+	defer plainTS.Close()
+	tracedTS := httptest.NewServer(NewServer(Config{Registry: countingRegistry(new(atomic.Int64), 0, "alpha", "beta")}).Handler())
+	defer tracedTS.Close()
+
+	_, plain := get(t, plainTS, "/v1/run?seed=5")
+	_, traced := get(t, tracedTS, "/v1/run?seed=5&trace=1")
+	ts := tracedTS
+	if got := stripTraceLines(traced); !bytes.Equal(got, plain) {
+		t.Errorf("traced /v1/run (stripped) differs from untraced:\n%s\nvs\n%s", got, plain)
+	}
+	for _, want := range []string{`"name":"artifact"`, `"name":"render"`, `"name":"compute"`, `{"trace":`} {
+		if !strings.Contains(string(traced), want) {
+			t.Errorf("traced /v1/run stream missing %s:\n%s", want, traced)
+		}
+	}
+	if code, _ := get(t, ts, "/v1/run?trace=banana"); code != http.StatusBadRequest {
+		t.Errorf("trace=banana = %d, want 400", code)
+	}
+}
+
+// TestTraceEndpoints covers the retention API: /v1/traces lists traced
+// requests newest first, /v1/traces/{id} exports the span tree as JSON,
+// NDJSON, and Chrome trace_event JSON that validates against the schema
+// subset about:tracing requires.
+func TestTraceEndpoints(t *testing.T) {
+	reg := countingRegistry(new(atomic.Int64), 0, "alpha")
+	ts := httptest.NewServer(NewServer(Config{Registry: reg, TraceBuffer: 4}).Handler())
+	defer ts.Close()
+
+	if _, body := get(t, ts, "/v1/traces"); strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("fresh server trace index = %q, want []", body)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/run?trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainBody(resp)
+	id := resp.Header.Get("X-Request-Id")
+
+	code, body := get(t, ts, "/v1/traces")
+	if code != 200 {
+		t.Fatalf("/v1/traces: %d", code)
+	}
+	var index []traceSummary
+	if err := json.Unmarshal(body, &index); err != nil {
+		t.Fatalf("trace index JSON: %v\n%s", err, body)
+	}
+	if len(index) != 1 || index[0].ID != id || index[0].Spans == 0 {
+		t.Fatalf("trace index = %+v, want one entry for %q with spans", index, id)
+	}
+
+	code, body = get(t, ts, "/v1/traces/"+id)
+	if code != 200 {
+		t.Fatalf("/v1/traces/%s: %d", id, code)
+	}
+	var detail traceDetail
+	if err := json.Unmarshal(body, &detail); err != nil {
+		t.Fatalf("trace detail JSON: %v", err)
+	}
+	if detail.ID != id || len(detail.Spans) == 0 {
+		t.Fatalf("trace detail = %+v", detail)
+	}
+
+	_, nd := get(t, ts, "/v1/traces/"+id+"?format=ndjson")
+	for _, line := range strings.Split(strings.TrimSpace(string(nd)), "\n") {
+		var sd obs.SpanData
+		if err := json.Unmarshal([]byte(line), &sd); err != nil {
+			t.Fatalf("NDJSON span line %q: %v", line, err)
+		}
+	}
+
+	code, chrome := get(t, ts, "/v1/traces/"+id+"?format=chrome")
+	if code != 200 {
+		t.Fatalf("chrome export: %d", code)
+	}
+	if problems := obs.ValidateChromeTrace(chrome); len(problems) > 0 {
+		t.Errorf("chrome trace invalid: %v", problems)
+	}
+
+	if code, _ := get(t, ts, "/v1/traces/no-such-id"); code != http.StatusNotFound {
+		t.Errorf("unknown trace id = %d, want 404", code)
+	}
+	if code, _ := get(t, ts, "/v1/traces/"+id+"?format=yaml"); code != http.StatusBadRequest {
+		t.Errorf("bad trace format = %d, want 400", code)
+	}
+}
+
+// drainBody reads a response to EOF so the traced request completes
+// (and its trace is retained) before the test inspects /v1/traces.
+func drainBody(resp *http.Response) {
+	var buf [4096]byte
+	for {
+		if _, err := resp.Body.Read(buf[:]); err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+}
+
+// TestMetricsExposition is the acceptance test for the Prometheus
+// surface: every family carries # HELP and # TYPE, families are sorted,
+// histograms render complete _bucket/_sum/_count series, and the whole
+// exposition passes the text-format linter CI runs against a live
+// daemon.
+func TestMetricsExposition(t *testing.T) {
+	reg := countingRegistry(new(atomic.Int64), 0, "alpha")
+	ts := httptest.NewServer(NewServer(Config{Registry: reg}).Handler())
+	defer ts.Close()
+
+	get(t, ts, "/v1/artifacts/alpha") // populate run/queue-wait histograms
+	_, body := get(t, ts, "/metrics")
+	text := string(body)
+
+	if problems := obs.LintProm(strings.NewReader(text)); len(problems) > 0 {
+		t.Errorf("metrics exposition fails lint: %v\n%s", problems, text)
+	}
+	var names []string
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			names = append(names, strings.Fields(rest)[0])
+		}
+	}
+	for _, want := range []string{
+		"leakyfed_cache_hits_total", "leakyfed_cache_misses_total",
+		"leakyfed_cancellations_total", "leakyfed_cached_results",
+		"leakyfed_deduplicated_total", "leakyfed_errors_total",
+		"leakyfed_inflight_runs", "leakyfed_queue_capacity",
+		"leakyfed_queue_depth", "leakyfed_queue_wait_seconds",
+		"leakyfed_rejected_total", "leakyfed_request_seconds",
+		"leakyfed_requests_total", "leakyfed_run_seconds",
+		"leakyfed_sweeps_total", "leakyfed_timeouts_total",
+		"leakyfed_traces_total",
+	} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("metrics missing family %s", want)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("families not sorted: %s before %s", names[i-1], names[i])
+		}
+	}
+	for _, want := range []string{
+		"# TYPE leakyfed_requests_total counter",
+		"# TYPE leakyfed_queue_depth gauge",
+		"# TYPE leakyfed_run_seconds histogram",
+		`leakyfed_run_seconds_bucket{le="+Inf"} 1`,
+		"leakyfed_run_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRequestLogging covers the structured request log: every request
+// logs one line carrying the method, path, status, and request id, at
+// WARN for 4xx/5xx responses and INFO otherwise.
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	reg := countingRegistry(new(atomic.Int64), 0, "alpha")
+	ts := httptest.NewServer(NewServer(Config{Registry: reg, Logger: logger}).Handler())
+	defer ts.Close()
+
+	get(t, ts, "/v1/artifacts")         // 200
+	get(t, ts, "/v1/artifacts/missing") // 404
+
+	type logLine struct {
+		Level  string `json:"level"`
+		Msg    string `json:"msg"`
+		ID     string `json:"id"`
+		Method string `json:"method"`
+		Path   string `json:"path"`
+		Status int    `json:"status"`
+	}
+	var lines []logLine
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l logLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("log line %q: %v", raw, err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	ok200, fail404 := lines[0], lines[1]
+	if ok200.Level != "INFO" || ok200.Status != 200 || ok200.Path != "/v1/artifacts" {
+		t.Errorf("200 log line = %+v", ok200)
+	}
+	if fail404.Level != "WARN" || fail404.Status != 404 || fail404.Method != "GET" ||
+		fail404.Path != "/v1/artifacts/missing" || !strings.HasPrefix(fail404.ID, "req-") {
+		t.Errorf("404 log line = %+v", fail404)
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runctx"
 )
 
@@ -73,6 +75,13 @@ type Config struct {
 	// the probe reports 503 once the job queue has been continuously
 	// full for longer than one interval. <= 0 means 5 seconds.
 	HealthPoll time.Duration
+	// Logger receives one structured line per request (level WARN for
+	// 4xx/5xx responses, INFO otherwise), carrying method, path, status,
+	// and the request id. nil discards logs.
+	Logger *slog.Logger
+	// TraceBuffer bounds how many completed request traces (?trace=1)
+	// GET /v1/traces retains, oldest evicted first. <= 0 means 32.
+	TraceBuffer int
 }
 
 // Server serves registry artifacts over HTTP with caching, request
@@ -97,6 +106,10 @@ type Server struct {
 	flights *flightGroup
 	sem     chan struct{} // simulation slots; acquired only while running
 	metrics Metrics
+
+	logger *slog.Logger
+	traces *obs.Ring     // completed ?trace=1 traces, for GET /v1/traces
+	reqSeq atomic.Uint64 // request-id counter; ids are req-<n>
 
 	// queueFull is the unix-nano timestamp since which the job queue has
 	// been continuously full (0 while below capacity); /healthz reports
@@ -131,8 +144,12 @@ func NewServer(cfg Config) *Server {
 	if healthPoll <= 0 {
 		healthPoll = 5 * time.Second
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	lifecycle, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		reg:             reg,
 		opts:            cfg.Opts.Normalize(),
 		workers:         workers,
@@ -145,7 +162,11 @@ func NewServer(cfg Config) *Server {
 		cache:           newResultCache(size),
 		flights:         newFlightGroup(lifecycle, cfg.CancelAbandoned),
 		sem:             make(chan struct{}, workers),
+		logger:          logger,
+		traces:          obs.NewRing(cfg.TraceBuffer),
 	}
+	s.metrics.initHistograms()
+	return s
 }
 
 // Close cancels every in-flight and not-yet-started simulation; each
@@ -190,12 +211,23 @@ func (s *Server) Artifact(ctx context.Context, name string, o experiments.Opts) 
 // sink, when non-nil, receives the flight's progress ticks (only the
 // leader's sink is wired; joiners share the result, not the progress).
 func (s *Server) compute(ctx context.Context, key string, a experiments.Artifact, o experiments.Opts, admitJob bool, sink runctx.Sink) (experiments.Result, error) {
+	cctx, span := obs.Start(ctx, "compute",
+		obs.String("artifact", a.Name), obs.String("cachekey", key))
+	defer span.End()
+	ctx = cctx
 	res, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) (experiments.Result, error) {
+		// The flight context derives from the server lifecycle, not this
+		// caller, so the leader re-attaches its own trace — mirroring how
+		// only the leader's sink is wired. Joiners see a dedup span below.
+		if sp := obs.SpanFrom(ctx); sp != nil {
+			fctx = obs.ContextWithSpan(fctx, sp)
+		}
 		// A racing flight may have landed between the caller's cache
 		// probe and taking the flight lead; its result is already cached
 		// and this serve counts as a hit like any other.
 		if res, hit := s.cache.Get(key); hit {
 			s.metrics.CacheHits.Add(1)
+			span.SetAttr("cache", "hit")
 			return res, nil
 		}
 		if admitJob {
@@ -215,6 +247,7 @@ func (s *Server) compute(ctx context.Context, key string, a experiments.Artifact
 		// Count only collapses that actually served a result; a waiter
 		// that timed out is a Timeout, not saved work.
 		s.metrics.Deduplicated.Add(1)
+		span.SetAttr("cache", "dedup")
 	}
 	return res, err
 }
@@ -249,20 +282,31 @@ func (s *Server) release(n int) {
 // unwinds the simulation at its next checkpoint; a cancelled run
 // returns an error and caches nothing.
 func (s *Server) run(ctx context.Context, a experiments.Artifact, o experiments.Opts, sink runctx.Sink) (experiments.Result, error) {
+	wctx, qspan := obs.Start(ctx, "queue.wait", obs.String("artifact", a.Name))
+	waitStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		// Cancelled while waiting for a slot: never started.
+		qspan.End()
+		s.metrics.QueueWaitSeconds.Observe(time.Since(waitStart).Seconds())
 		s.metrics.Cancellations.Add(1)
 		return experiments.Result{}, ctx.Err()
 	}
+	qspan.End()
+	s.metrics.QueueWaitSeconds.Observe(time.Since(waitStart).Seconds())
 	s.metrics.InFlight.Add(1)
+	runStart := time.Now()
 	defer func() {
+		s.metrics.RunSeconds.Observe(time.Since(runStart).Seconds())
 		s.metrics.InFlight.Add(-1)
 		<-s.sem
 	}()
 	s.metrics.CacheMisses.Add(1)
-	rc := runctx.New(ctx, sink)
+	rctx, rspan := obs.Start(wctx, "run",
+		obs.String("artifact", a.Name), obs.String("cache", "miss"))
+	defer rspan.End()
+	rc := runctx.New(rctx, sink)
 	res := experiments.Runner{Opts: o, Workers: 1}.RunEmitCtx(rc, []experiments.Artifact{a}, nil)[0]
 	if res.Err != "" {
 		s.metrics.Cancellations.Add(1)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/sweep"
 )
@@ -45,6 +46,11 @@ type sweepReportLine struct {
 // CancelAbandoned) yields partial results: remaining rows carry Err,
 // and the report still aggregates what completed.
 func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	traced, err := boolParam(r.URL.Query().Get("trace"), "trace")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<10))
 	dec.DisallowUnknownFields()
 	var req sweepRequest
@@ -115,9 +121,17 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	if s.cancelAbandoned {
 		runCtx = r.Context()
 	}
+	if traced {
+		var finish func()
+		runCtx, finish = s.startTrace(r.Context(), runCtx, "POST /v1/sweeps", sw,
+			obs.String("filter", req.Filter))
+		defer finish()
+	}
 	run := func(ctx context.Context, cs spec.ChannelSpec, bits int) (channel.Result, error) {
 		if tres, ok := probed[channelRunKey(cs, bits)]; ok {
 			s.metrics.CacheHits.Add(1)
+			_, hsp := obs.Start(ctx, "cache.hit", obs.String("cachekey", channelRunKey(cs, bits)))
+			hsp.End()
 			return tres, nil
 		}
 		res, err := retryBusy(ctx, func() (experiments.Result, error) {

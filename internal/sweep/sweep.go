@@ -9,6 +9,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/cpu"
 	"repro/internal/defense"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/runctx"
 	"repro/internal/spec"
@@ -239,10 +240,21 @@ func RunSpecs(ctx context.Context, f Filter, o Options, specs []spec.ChannelSpec
 				row := Row{Spec: cs, Canonical: cs.String()}
 				if err := ctx.Err(); err != nil {
 					row.Err = err.Error()
-				} else if res, err := run(ctx, cs, o.Bits); err != nil {
-					row.Err = err.Error()
 				} else {
-					row.RateKbps, row.ErrorRate = res.RateKbps, res.ErrorRate
+					// Per-spec span (a no-op on untraced sweeps): shard
+					// index plus the spec's cache identity, so a profile
+					// ties each track back to a runnable scenario.
+					sctx, span := obs.Start(ctx, "sweep.spec",
+						obs.String("spec", row.Canonical),
+						obs.String("cachekey", cs.CacheKey()),
+						obs.Int("shard_index", i))
+					if res, err := run(sctx, cs, o.Bits); err != nil {
+						row.Err = err.Error()
+						span.SetAttr("err", row.Err)
+					} else {
+						row.RateKbps, row.ErrorRate = res.RateKbps, res.ErrorRate
+					}
+					span.End()
 				}
 				rows[i] = row
 				completions <- i

@@ -21,6 +21,7 @@ package leaky
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/fingerprint"
+	"repro/internal/obs"
 	"repro/internal/runctx"
 	"repro/internal/serve"
 	"repro/internal/spec"
@@ -532,6 +534,36 @@ func ServeCtx(ctx context.Context, addr string, cfg ServeConfig) error {
 	}
 	return err
 }
+
+// Trace is a hierarchical span trace of one run: the run is the root
+// span, stages (calibration preambles, per-bit transmit loops,
+// fingerprint sampling, sweep shards) nest under it with monotonic
+// wall-clock timings. Tracing never perturbs a simulation — spans record
+// timing only, so a traced run's result bytes are identical to an
+// untraced run's.
+type Trace = obs.Trace
+
+// TraceSpan is one completed span of a Trace.
+type TraceSpan = obs.SpanData
+
+// NewTrace opens a trace (and its root span) named name. Attach it to a
+// context with Trace.Context and pass that context to SweepCtx,
+// RunExperimentsCtx, or TransmitCtx-driven work to record stage spans;
+// call Finish when the run is over, then export with WriteChromeTrace
+// or WriteTraceNDJSON.
+func NewTrace(name string) *Trace { return obs.NewTrace("", name) }
+
+// WriteChromeTrace exports t as Chrome trace_event JSON, loadable
+// directly in about:tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, t *Trace) error { return obs.WriteChromeTrace(w, t) }
+
+// WriteTraceNDJSON exports t as an NDJSON stream of spans, one per line.
+func WriteTraceNDJSON(w io.Writer, t *Trace) error { return obs.WriteNDJSON(w, t) }
+
+// ValidateChromeTrace checks blob against the subset of the Chrome
+// trace_event schema the exporter emits and returns the violations
+// found (empty means loadable).
+func ValidateChromeTrace(blob []byte) []string { return obs.ValidateChromeTrace(blob) }
 
 // runArtifact dispatches one named artifact through the registry with the
 // caller's options applied verbatim (no seed splitting), preserving the
