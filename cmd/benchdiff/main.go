@@ -1,13 +1,17 @@
 // Command benchdiff compares two `go test -json -bench` result files
-// and reports per-benchmark ns/op deltas, so CI can track the perf
-// trajectory across runs. It is warn-only by default — smoke benchmarks
-// at -benchtime=1x are too noisy to gate on — and exits non-zero only
-// when -fail-over is set and some regression exceeds it.
+// and reports per-benchmark ns/op and allocs/op deltas, so CI can track
+// the perf trajectory across runs. Time is warn-only by default — smoke
+// benchmarks at -benchtime=1x are too noisy to gate on — and exits
+// non-zero only when -fail-over (ns/op) or -fail-allocs-over (allocs/op,
+// which is deterministic and therefore gateable at a tight threshold)
+// is set and some regression exceeds it. Improvements are reported too:
+// the table is sorted worst-regression-first, best-improvement-last, so
+// both ends of the trajectory are visible at a glance.
 //
 // Usage:
 //
 //	benchdiff -old .github/bench/BENCH_baseline.json -new BENCH_ci.json
-//	benchdiff -old old.json -new new.json -warn-over 50 -fail-over 300
+//	benchdiff -old old.json -new new.json -warn-over 50 -fail-over 300 -fail-allocs-over 10
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -29,17 +34,27 @@ type event struct {
 	Output  string `json:"Output"`
 }
 
-var nsPerOp = regexp.MustCompile(`(?:^|\s)([0-9.]+) ns/op`)
+// metrics is one benchmark's measurements. Allocs is -1 when the run
+// lacked -benchmem, so "absent" never compares equal to "zero allocs".
+type metrics struct {
+	Ns     float64
+	Allocs float64
+}
 
-// load extracts pkg.benchmark -> ns/op from one result file. A
+var (
+	nsPerOp     = regexp.MustCompile(`(?:^|\s)([0-9.]+) ns/op`)
+	allocsPerOp = regexp.MustCompile(`(?:^|\s)([0-9]+) allocs/op`)
+)
+
+// load extracts pkg.benchmark -> metrics from one result file. A
 // benchmark reported more than once keeps its last value.
-func load(path string) (map[string]float64, error) {
+func load(path string) (map[string]metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := map[string]float64{}
+	out := map[string]metrics{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -58,17 +73,51 @@ func load(path string) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		out[ev.Package+"."+ev.Test] = ns
+		cur := metrics{Ns: ns, Allocs: -1}
+		if am := allocsPerOp.FindStringSubmatch(ev.Output); am != nil {
+			if av, err := strconv.ParseFloat(am[1], 64); err == nil {
+				cur.Allocs = av
+			}
+		}
+		out[ev.Package+"."+ev.Test] = cur
 	}
 	return out, sc.Err()
 }
 
+// pctDelta is the percentage change from old to new; 0 when old is not
+// positive (nothing meaningful to normalize by).
+func pctDelta(oldV, newV float64) float64 {
+	if oldV <= 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// row is one comparable benchmark, carrying both metric deltas.
+type row struct {
+	name             string
+	oldNs, newNs     float64
+	nsDelta          float64
+	oldAllocs        float64 // -1 when the baseline lacked -benchmem
+	newAllocs        float64
+	allocDelta       float64
+	allocsComparable bool
+}
+
+func fmtAllocs(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
+}
+
 func main() {
 	var (
-		oldPath  = flag.String("old", "", "baseline go-test-json bench results")
-		newPath  = flag.String("new", "", "current go-test-json bench results")
-		warnOver = flag.Float64("warn-over", 50, "flag benchmarks whose ns/op moved more than this percentage")
-		failOver = flag.Float64("fail-over", 0, "exit 1 when a regression exceeds this percentage (0 = never fail)")
+		oldPath        = flag.String("old", "", "baseline go-test-json bench results")
+		newPath        = flag.String("new", "", "current go-test-json bench results")
+		warnOver       = flag.Float64("warn-over", 50, "flag benchmarks whose ns/op moved more than this percentage")
+		failOver       = flag.Float64("fail-over", 0, "exit 1 when a ns/op regression exceeds this percentage (0 = never fail)")
+		failAllocsOver = flag.Float64("fail-allocs-over", 0, "exit 1 when an allocs/op regression exceeds this percentage (0 = never fail)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -88,45 +137,80 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(newRes))
-	for name := range newRes {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	fmt.Printf("%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
-	flagged, failed := 0, false
-	for _, name := range names {
-		nv := newRes[name]
+	var rows []row
+	var added []string
+	for name, nv := range newRes {
 		ov, ok := oldRes[name]
 		if !ok {
-			fmt.Printf("%-64s %14s %14.0f %9s\n", name, "-", nv, "new")
+			added = append(added, name)
 			continue
 		}
-		delta := 0.0
-		if ov > 0 {
-			delta = (nv - ov) / ov * 100
+		r := row{
+			name: name, oldNs: ov.Ns, newNs: nv.Ns,
+			nsDelta:   pctDelta(ov.Ns, nv.Ns),
+			oldAllocs: ov.Allocs, newAllocs: nv.Allocs,
 		}
+		if ov.Allocs >= 0 && nv.Allocs >= 0 {
+			r.allocsComparable = true
+			r.allocDelta = pctDelta(ov.Allocs, nv.Allocs)
+		}
+		rows = append(rows, r)
+	}
+	// Worst time regression first, best improvement last; ties (and the
+	// all-zero case) fall back to name so the table stays deterministic.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].nsDelta != rows[j].nsDelta {
+			return rows[i].nsDelta > rows[j].nsDelta
+		}
+		return rows[i].name < rows[j].name
+	})
+	sort.Strings(added)
+
+	fmt.Printf("%-64s %14s %14s %9s %12s %12s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns Δ", "old allocs", "new allocs", "allocs Δ")
+	regressed, improved := 0, 0
+	failed := false
+	for _, r := range rows {
 		mark := ""
-		if delta >= *warnOver || -delta >= *warnOver {
-			mark = "  <-- moved"
-			flagged++
+		switch {
+		case *failOver > 0 && r.nsDelta >= *failOver:
+			mark = "  <-- TIME REGRESSION"
+			failed = true
+			regressed++
+		case r.nsDelta >= *warnOver:
+			mark = "  <-- regressed"
+			regressed++
+		case -r.nsDelta >= *warnOver:
+			mark = "  <-- improved"
+			improved++
 		}
-		if *failOver > 0 && delta >= *failOver {
-			mark = "  <-- REGRESSION"
+		if r.allocsComparable && *failAllocsOver > 0 && r.allocDelta >= *failAllocsOver {
+			mark += "  <-- ALLOC REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-64s %14.0f %14.0f %+8.1f%%%s\n", name, ov, nv, delta, mark)
+		fmt.Printf("%-64s %14.0f %14.0f %+8.1f%% %12s %12s %+8.1f%%%s\n",
+			r.name, r.oldNs, r.newNs, r.nsDelta,
+			fmtAllocs(r.oldAllocs), fmtAllocs(r.newAllocs), r.allocDelta, mark)
+	}
+	for _, name := range added {
+		nv := newRes[name]
+		fmt.Printf("%-64s %14s %14.0f %9s %12s %12s %9s\n",
+			name, "-", nv.Ns, "new", "-", fmtAllocs(nv.Allocs), "")
 	}
 	removed := 0
-	for name := range oldRes {
+	for name, ov := range oldRes {
 		if _, ok := newRes[name]; !ok {
-			fmt.Printf("%-64s %14.0f %14s %9s\n", name, oldRes[name], "-", "gone")
+			fmt.Printf("%-64s %14.0f %14s %9s %12s %12s %9s\n",
+				name, ov.Ns, "-", "gone", fmtAllocs(ov.Allocs), "-", "")
 			removed++
 		}
 	}
-	fmt.Printf("\n%d benchmarks compared, %d moved beyond %.0f%%, %d removed\n",
-		len(names), flagged, *warnOver, removed)
+	best := 0.0
+	for _, r := range rows {
+		best = math.Min(best, r.nsDelta)
+	}
+	fmt.Printf("\n%d benchmarks compared: %d regressed beyond %.0f%%, %d improved beyond %.0f%% (best %+.1f%%), %d new, %d removed\n",
+		len(rows), regressed, *warnOver, improved, *warnOver, best, len(added), removed)
 	if failed {
 		os.Exit(1)
 	}

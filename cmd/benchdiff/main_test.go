@@ -6,11 +6,12 @@ import (
 	"testing"
 )
 
-func TestLoadExtractsNsPerOp(t *testing.T) {
+func TestLoadExtractsMetrics(t *testing.T) {
 	blob := `{"Action":"output","Package":"repro","Test":"BenchmarkA","Output":"BenchmarkA \t 1\t 67997 ns/op\n"}
 {"Action":"output","Package":"repro","Test":"BenchmarkB","Output":"       1\t  49887180 ns/op\t       153.1 DSB-cycles\n"}
 {"Action":"output","Package":"repro","Test":"BenchmarkB","Output":"no metric here\n"}
-{"Action":"run","Package":"repro","Test":"BenchmarkC"}
+{"Action":"output","Package":"repro","Test":"BenchmarkC","Output":"BenchmarkC-8 \t 100\t 2150 ns/op\t 512 B/op\t 4 allocs/op\n"}
+{"Action":"run","Package":"repro","Test":"BenchmarkD"}
 not json at all
 {"Action":"output","Package":"repro","Output":"PASS\n"}
 `
@@ -22,17 +23,30 @@ not json at all
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
-		"repro.BenchmarkA": 67997,
-		"repro.BenchmarkB": 49887180,
+	want := map[string]metrics{
+		"repro.BenchmarkA": {Ns: 67997, Allocs: -1},
+		"repro.BenchmarkB": {Ns: 49887180, Allocs: -1},
+		"repro.BenchmarkC": {Ns: 2150, Allocs: 4},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("loaded %v, want %v", got, want)
 	}
 	for k, v := range want {
 		if got[k] != v {
-			t.Errorf("%s = %v, want %v", k, got[k], v)
+			t.Errorf("%s = %+v, want %+v", k, got[k], v)
 		}
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	if d := pctDelta(100, 150); d != 50 {
+		t.Errorf("pctDelta(100,150) = %v, want 50", d)
+	}
+	if d := pctDelta(200, 100); d != -50 {
+		t.Errorf("pctDelta(200,100) = %v, want -50", d)
+	}
+	if d := pctDelta(0, 100); d != 0 {
+		t.Errorf("pctDelta(0,100) = %v, want 0 (no baseline to normalize by)", d)
 	}
 }
 
@@ -43,5 +57,14 @@ func TestLoadOfCommittedBaseline(t *testing.T) {
 	}
 	if len(res) == 0 {
 		t.Fatal("committed baseline holds no benchmarks; the CI compare step would be vacuous")
+	}
+	withAllocs := 0
+	for _, m := range res {
+		if m.Allocs >= 0 {
+			withAllocs++
+		}
+	}
+	if withAllocs == 0 {
+		t.Fatal("committed baseline has no allocs/op values; the CI alloc gate would be vacuous")
 	}
 }

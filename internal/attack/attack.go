@@ -101,7 +101,11 @@ func senderBlocks(set, d, count int, aligned bool) []*isa.Block {
 // per-iteration loop of the non-MT channels (init -> encode -> decode
 // compressed into init/decode + encode, Section V-C).
 func chain(groups ...[]*isa.Block) []*isa.Block {
-	var all []*isa.Block
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	all := make([]*isa.Block, 0, n)
 	for _, g := range groups {
 		all = append(all, g...)
 	}

@@ -65,6 +65,14 @@ type MT struct {
 	sender []*isa.Block
 	q      int
 
+	recvFlat, senderFlat []isa.Inst
+
+	// measBuf collects the receiver's per-bit timing passes; measCb is
+	// the completion callback appending to it. Both are built once so
+	// SendBit's measurement loop allocates neither slice nor closure.
+	measBuf []float64
+	measCb  func(v float64)
+
 	// Bit-history state: the paper observes that constant messages keep
 	// the sender on one frontend path and transmit with less noise,
 	// while random messages suffer from "frequent and unstable frontend
@@ -124,6 +132,10 @@ func NewMT(cfg MTConfig) *MT {
 	if a.q < 2 {
 		a.q = 2
 	}
+	a.recvFlat = isa.Flatten(a.recv)
+	a.senderFlat = isa.Flatten(a.sender)
+	a.measBuf = make([]float64, 0, cfg.Measurements)
+	a.measCb = func(v float64) { a.measBuf = append(a.measBuf, v) }
 	return a
 }
 
@@ -185,20 +197,18 @@ func (a *MT) SendBit(m byte) float64 {
 
 	slotStart := a.core.Cycle()
 	if m == '1' {
-		a.core.Enqueue(1, isa.NewLoopStream(a.sender, a.q), nil)
+		a.core.Enqueue(1, isa.NewFlatLoopStream(a.senderFlat, a.q), nil)
 	}
 	iters := a.q / a.cfg.Measurements
 	if iters < 2 {
 		iters = 2
 	}
-	meas := make([]float64, 0, a.cfg.Measurements)
+	a.measBuf = a.measBuf[:0]
 	for i := 0; i < a.cfg.Measurements; i++ {
 		if a.rc.Err() != nil {
 			return 0 // cancelled: the caller discards this bit
 		}
-		a.core.MeasureEnqueue(0, isa.NewLoopStream(a.recv, iters), func(v float64) {
-			meas = append(meas, v)
-		})
+		a.core.MeasureEnqueue(0, isa.NewFlatLoopStream(a.recvFlat, iters), a.measCb)
 	}
 	a.core.RunUntilIdle(500_000_000)
 	// The protocol advances on fixed slot boundaries: a bit's slot is q
@@ -231,5 +241,5 @@ func (a *MT) SendBit(m byte) float64 {
 		// resynchronize cheaply.
 		noise *= 0.6
 	}
-	return stats.Mean(meas)/float64(iters) + a.core.R.NormScaled(0, noise)
+	return stats.Mean(a.measBuf)/float64(iters) + a.core.R.NormScaled(0, noise)
 }

@@ -57,6 +57,10 @@ type NonMT struct {
 	one  []*isa.Block // per-iteration loop when sending 1
 	zero []*isa.Block // per-iteration loop when sending 0 (nil = fast variant, receiver-only)
 	base []*isa.Block // receiver-only loop
+
+	// Pre-flattened instruction sequences of the loops above; SendBit
+	// wraps these instead of re-flattening the blocks every bit.
+	oneFlat, zeroFlat, baseFlat []isa.Inst
 }
 
 // NewNonMT builds the channel and its block layout.
@@ -88,6 +92,11 @@ func NewNonMT(cfg NonMTConfig) *NonMT {
 		}
 	}
 	a.base = chain(recv)
+	a.oneFlat = isa.Flatten(a.one)
+	a.baseFlat = isa.Flatten(a.base)
+	if a.zero != nil {
+		a.zeroFlat = isa.Flatten(a.zero)
+	}
 	return a
 }
 
@@ -125,12 +134,12 @@ func (a *NonMT) BlocksBase() []*isa.Block { return a.base }
 // SendBit runs p iterations of the init/encode/decode loop for one bit
 // and returns the receiver's timing measurement of the whole sequence.
 func (a *NonMT) SendBit(m byte) float64 {
-	blocks := a.one
+	flat := a.oneFlat
 	encodeRan := true
 	if m == '0' {
-		blocks = a.zero
-		if blocks == nil {
-			blocks = a.base // fast variant: encode-0 does nothing
+		flat = a.zeroFlat
+		if flat == nil {
+			flat = a.baseFlat // fast variant: encode-0 does nothing
 			encodeRan = false
 		}
 	}
@@ -142,7 +151,7 @@ func (a *NonMT) SendBit(m byte) float64 {
 		// variant skips it on zero bits, which is its rate edge.
 		a.core.RunCycles(uint64(a.cfg.Model.StepOverheadCycles))
 	}
-	return a.core.RunTimed(0, isa.NewLoopStream(blocks, a.cfg.P))
+	return a.core.RunTimed(0, isa.NewFlatLoopStream(flat, a.cfg.P))
 }
 
 // SlowSwitchConfig parameterizes the LCP slow-switch channel of
@@ -171,6 +180,8 @@ type SlowSwitch struct {
 	rc      runctx.Ctx
 	mixed   []*isa.Block
 	ordered []*isa.Block
+
+	mixedFlat, orderedFlat []isa.Inst
 }
 
 // NewSlowSwitch builds the channel. The two encodings live at different
@@ -181,10 +192,12 @@ func NewSlowSwitch(cfg SlowSwitchConfig) *SlowSwitch {
 	isa.ChainLoop(mixed)
 	isa.ChainLoop(ordered)
 	return &SlowSwitch{
-		cfg:     cfg,
-		core:    cpu.NewCore(cfg.Model, cfg.Seed),
-		mixed:   mixed,
-		ordered: ordered,
+		cfg:         cfg,
+		core:        cpu.NewCore(cfg.Model, cfg.Seed),
+		mixed:       mixed,
+		ordered:     ordered,
+		mixedFlat:   isa.Flatten(mixed),
+		orderedFlat: isa.Flatten(ordered),
 	}
 }
 
@@ -205,9 +218,9 @@ func (s *SlowSwitch) SendBit(m byte) float64 {
 	if s.rc.Err() != nil {
 		return 0 // cancelled: the caller discards this bit
 	}
-	blocks := s.ordered
+	flat := s.orderedFlat
 	if m == '1' {
-		blocks = s.mixed
+		flat = s.mixedFlat
 	}
-	return s.core.RunTimed(0, isa.NewLoopStream(blocks, s.cfg.P))
+	return s.core.RunTimed(0, isa.NewFlatLoopStream(flat, s.cfg.P))
 }

@@ -48,6 +48,8 @@ type Power struct {
 
 	one  []*isa.Block
 	zero []*isa.Block
+
+	oneFlat, zeroFlat []isa.Inst
 }
 
 // NewPower builds the channel using the non-MT stealthy block layout
@@ -66,6 +68,8 @@ func NewPower(cfg PowerConfig) *Power {
 		p.one = chain(receiverBlocks(cfg.Set, cfg.D), senderBlocks(cfg.Set, cfg.D, extra, false))
 		p.zero = chain(receiverBlocks(cfg.Set, cfg.D), senderBlocks(cfg.Set, cfg.D, extra, true))
 	}
+	p.oneFlat = isa.Flatten(p.one)
+	p.zeroFlat = isa.Flatten(p.zero)
 	return p
 }
 
@@ -95,13 +99,13 @@ func (p *Power) SendBit(m byte) float64 {
 	if p.rc.Err() != nil {
 		return 0 // cancelled: the caller discards this bit
 	}
-	blocks := p.one
+	flat := p.oneFlat
 	if m == '0' {
-		blocks = p.zero
+		flat = p.zeroFlat
 	}
 	e0 := p.core.PM.RAPLRead()
 	c0 := p.core.Cycle()
-	p.core.Enqueue(0, isa.NewLoopStream(blocks, p.cfg.Iters), nil)
+	p.core.Enqueue(0, isa.NewFlatLoopStream(flat, p.cfg.Iters), nil)
 	p.core.RunUntilIdle(2_000_000_000)
 	e1 := p.core.PM.RAPLRead()
 	watts := power.AvgWatts(e1-e0, p.core.Cycle()-c0)

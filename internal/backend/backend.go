@@ -78,10 +78,8 @@ func (b *Backend) Cycle(src UOpSource, mem MemHook) int {
 	for i := 0; i < 2; i++ {
 		t := first ^ i
 		for n := 0; n < b.P.RetireWidth; n++ {
-			if src.IDQLen(t) == 0 {
-				break
-			}
-			// Peek via pop-and-check: find a port for the head micro-op.
+			// Pop-and-check: the failed pop doubles as the empty-queue
+			// test, so the hot loop makes one interface call per micro-op.
 			in, ok := src.PopUOp(t)
 			if !ok {
 				break

@@ -1,0 +1,7 @@
+package backend
+
+// Clone returns a deep copy of the execution engine's retirement state.
+func (b *Backend) Clone() *Backend {
+	c := *b
+	return &c
+}

@@ -1,0 +1,9 @@
+package branch
+
+// Clone returns a deep copy of the predictor: identical PHT, BTB, global
+// history, and stats. The tables are value arrays, so a struct copy is a
+// full snapshot.
+func (p *Predictor) Clone() *Predictor {
+	c := *p
+	return &c
+}

@@ -1,0 +1,9 @@
+package cache
+
+// Clone returns a deep copy of the cache: identical contents, recency
+// state, and statistics.
+func (c *Cache) Clone() *Cache {
+	d := *c
+	d.lines = append([]line(nil), c.lines...)
+	return &d
+}

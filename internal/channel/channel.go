@@ -101,6 +101,7 @@ func TransmitCtx(rc runctx.Ctx, ch BitChannel, modelName, message string, calibB
 	rc, bspan := rc.StartSpan("channel.bits")
 	startCycles := ch.Cycles()
 	var received strings.Builder
+	received.Grow(len(message))
 	for i := 0; i < len(message); i++ {
 		if err := rc.Step(stage, calibBits+i, total); err != nil {
 			bspan.End()
@@ -148,7 +149,8 @@ func Calibrate(ch BitChannel, bits int) stats.Threshold {
 // calibrate is Calibrate with a per-preamble-bit checkpoint; done/total
 // progress is reported against the caller's transmission-wide total.
 func calibrate(rc runctx.Ctx, ch BitChannel, bits int, stage string, total int) (stats.Threshold, error) {
-	var zeros, ones []float64
+	zeros := make([]float64, 0, (bits+1)/2)
+	ones := make([]float64, 0, bits/2)
 	for i := 0; i < bits; i++ {
 		if err := rc.Step(stage, i, total); err != nil {
 			return stats.Threshold{}, err
@@ -174,6 +176,7 @@ func AllOnes(n int) string { return strings.Repeat("1", n) }
 // threshold calibration and most table rows.
 func Alternating(n int) string {
 	var b strings.Builder
+	b.Grow(n)
 	for i := 0; i < n; i++ {
 		b.WriteByte('0' + byte(i%2))
 	}
@@ -183,6 +186,7 @@ func Alternating(n int) string {
 // Random returns an n-bit pseudo-random message drawn from r.
 func Random(n int, r *rng.RNG) string {
 	var b strings.Builder
+	b.Grow(n)
 	for i := 0; i < n; i++ {
 		if r.Bool(0.5) {
 			b.WriteByte('1')

@@ -1,0 +1,34 @@
+package cpu
+
+import "repro/internal/isa"
+
+// Clone returns a deep copy of the core: stepping the clone produces
+// exactly the cycle counts, counter values, and RNG draws the original
+// would have produced from this point. Both hardware threads must be
+// idle (no queued or in-flight tasks) — the sweep engine clones cores
+// only at the quiescent point after a calibration preamble.
+func (c *Core) Clone() *Core {
+	if !c.Idle() {
+		panic("cpu: Clone with in-flight work")
+	}
+	d := &Core{
+		Model:      c.Model,
+		BE:         c.BE.Clone(),
+		L1I:        c.L1I.Clone(),
+		L1D:        c.L1D.Clone(),
+		PM:         c.PM.Clone(),
+		TSC:        c.TSC.Clone(),
+		R:          c.R.Clone(),
+		cycle:      c.cycle,
+		lastActive: c.lastActive,
+		lastBoth:   c.lastBoth,
+		miteHold:   c.miteHold,
+		prevLSD:    c.prevLSD,
+		prevDSB:    c.prevDSB,
+		prevMITE:   c.prevMITE,
+		prevStall:  c.prevStall,
+	}
+	d.FE = c.FE.CloneWith(d.L1I)
+	d.memHook = func(t int, in isa.Inst) { d.L1D.Access(in.MemAddr) }
+	return d
+}

@@ -25,6 +25,12 @@ type Task struct {
 	OnDone  func(start, end uint64)
 
 	start uint64
+
+	// Measurement tasks (MeasureEnqueue) carry their noisy-measurement
+	// state in the task itself instead of per-call closures, keeping the
+	// per-measurement allocation down to the task and its stream.
+	measCb     func(measured float64)
+	miteBefore uint64
 }
 
 // Core is one simulated physical core with two SMT hardware threads.
@@ -40,11 +46,20 @@ type Core struct {
 
 	cycle      uint64
 	queue      [2][]*Task
+	qhead      [2]int // next undispatched index into queue[t]
 	cur        [2]*Task
 	lastActive [2]uint64
 	lastBoth   uint64
 	miteHold   int // thread holding the fetch slot an extra cycle, or -1
-	prevCtr    frontend.ThreadCounters
+
+	// memHook is the L1D wiring passed to the backend every cycle, built
+	// once so Step does not rebuild the closure.
+	memHook backend.MemHook
+
+	// Previous totals of the frontend counters the power meter reads;
+	// Step tracks per-cycle deltas of just these four scalars instead of
+	// diffing two full ThreadCounters structs every cycle.
+	prevLSD, prevDSB, prevMITE, prevStall uint64
 }
 
 // NewCore builds a core for the given model, seeded deterministically.
@@ -66,6 +81,7 @@ func NewCore(m Model, seed uint64) *Core {
 	if m.StaticDSBPartition {
 		c.FE.SetPartitioned(true)
 	}
+	c.memHook = func(t int, in isa.Inst) { c.L1D.Access(in.MemAddr) }
 	return c
 }
 
@@ -88,7 +104,7 @@ func (c *Core) Enqueue(t int, s isa.Stream, onDone func(start, end uint64)) {
 
 // Busy reports whether thread t has queued or in-flight work.
 func (c *Core) Busy(t int) bool {
-	return c.cur[t] != nil || len(c.queue[t]) > 0
+	return c.cur[t] != nil || c.qhead[t] < len(c.queue[t])
 }
 
 // Idle reports whether both threads are fully drained.
@@ -100,16 +116,25 @@ func (c *Core) Idle() bool { return !c.Busy(0) && !c.Busy(1) }
 func (c *Core) Step() {
 	c.cycle++
 
-	// Dispatch queued tasks.
+	// Dispatch queued tasks. The queue is drained by head index so the
+	// backing array is reused across enqueue/dispatch cycles.
 	for t := 0; t < 2; t++ {
-		if c.cur[t] == nil && len(c.queue[t]) > 0 {
-			task := c.queue[t][0]
-			c.queue[t] = c.queue[t][1:]
+		if c.cur[t] == nil && c.qhead[t] < len(c.queue[t]) {
+			task := c.queue[t][c.qhead[t]]
+			c.queue[t][c.qhead[t]] = nil
+			c.qhead[t]++
+			if c.qhead[t] == len(c.queue[t]) {
+				c.queue[t] = c.queue[t][:0]
+				c.qhead[t] = 0
+			}
 			task.start = c.cycle
 			c.cur[t] = task
 			c.FE.SetStream(t, task.Stream)
 			if task.OnStart != nil {
 				task.OnStart()
+			}
+			if task.measCb != nil {
+				task.miteBefore = c.FE.Ctr[t].UOpsMITE
 			}
 		}
 		if c.cur[t] != nil {
@@ -165,14 +190,17 @@ func (c *Core) Step() {
 	}
 
 	// Backend retirement; loads and stores touch the L1D as they execute.
-	retired := c.BE.Cycle(c.FE, func(t int, in isa.Inst) {
-		c.L1D.Access(in.MemAddr)
-	})
+	retired := c.BE.Cycle(c.FE, c.memHook)
 
-	// Package power accrual from this cycle's frontend activity.
-	now := c.FE.Ctr[0].Add(c.FE.Ctr[1])
-	c.PM.AddCycle(now.Sub(c.prevCtr), retired)
-	c.prevCtr = now
+	// Package power accrual from this cycle's frontend activity. The
+	// meter reads only the delivery-path micro-op and stall counters, so
+	// only those four totals are delta-tracked per cycle.
+	lsd := c.FE.Ctr[0].UOpsLSD + c.FE.Ctr[1].UOpsLSD
+	dsb := c.FE.Ctr[0].UOpsDSB + c.FE.Ctr[1].UOpsDSB
+	mite := c.FE.Ctr[0].UOpsMITE + c.FE.Ctr[1].UOpsMITE
+	stall := c.FE.Ctr[0].StallCycles + c.FE.Ctr[1].StallCycles
+	c.PM.AddCycleDelta(lsd-c.prevLSD, dsb-c.prevDSB, mite-c.prevMITE, stall-c.prevStall, retired)
+	c.prevLSD, c.prevDSB, c.prevMITE, c.prevStall = lsd, dsb, mite, stall
 
 	// Task completion: stream fully fetched and IDQ drained.
 	for t := 0; t < 2; t++ {
@@ -182,8 +210,25 @@ func (c *Core) Step() {
 			if task.OnDone != nil {
 				task.OnDone(task.start, c.cycle)
 			}
+			if task.measCb != nil {
+				c.finishMeasure(t, task)
+			}
 		}
 	}
+}
+
+// finishMeasure reports a measurement task's noisy timing, exactly as
+// RunTimed would: serializing-timer noise on the duration plus protocol
+// overhead, and MITE jitter scaled by the legacy-decoded micro-op count.
+func (c *Core) finishMeasure(t int, task *Task) {
+	m := c.TSC.Measure(float64(c.cycle-task.start) + c.Model.ProtocolOverheadCycles)
+	if mu := float64(c.FE.Ctr[t].UOpsMITE - task.miteBefore); mu > 0 && c.Model.MITEJitterSqrtUOp > 0 {
+		m += c.R.NormScaled(0, c.Model.MITEJitterSqrtUOp*math.Sqrt(mu))
+	}
+	if m < 0 {
+		m = 0
+	}
+	task.measCb(m)
 }
 
 // AbortThread drops thread t's current task and queue without running
@@ -192,6 +237,7 @@ func (c *Core) Step() {
 func (c *Core) AbortThread(t int) {
 	c.cur[t] = nil
 	c.queue[t] = c.queue[t][:0]
+	c.qhead[t] = 0
 	c.FE.SetStream(t, nil)
 }
 
@@ -263,20 +309,7 @@ func (c *Core) RunTimedTight(t int, s isa.Stream) float64 {
 // without blocking: the callback fires when the task completes. MT
 // receivers use this to take measurements while the sender thread runs.
 func (c *Core) MeasureEnqueue(t int, s isa.Stream, cb func(measured float64)) {
-	before := ^uint64(0)
-	task := &Task{Stream: s}
-	task.OnStart = func() { before = c.FE.Ctr[t].UOpsMITE }
-	task.OnDone = func(start, end uint64) {
-		m := c.TSC.Measure(float64(end-start) + c.Model.ProtocolOverheadCycles)
-		if mu := float64(c.FE.Ctr[t].UOpsMITE - before); mu > 0 && c.Model.MITEJitterSqrtUOp > 0 {
-			m += c.R.NormScaled(0, c.Model.MITEJitterSqrtUOp*math.Sqrt(mu))
-		}
-		if m < 0 {
-			m = 0
-		}
-		cb(m)
-	}
-	c.queue[t] = append(c.queue[t], task)
+	c.queue[t] = append(c.queue[t], &Task{Stream: s, measCb: cb})
 }
 
 // Counters returns the frontend counters for thread t.

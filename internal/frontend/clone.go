@@ -1,0 +1,78 @@
+package frontend
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// This file implements deep-copying of the frontend so a calibrated
+// simulator snapshot can be replayed byte-for-byte (the sweep engine's
+// calibration memoization). Every mutable structure is copied; the only
+// shared data is immutable (decoded instruction slices inside streams —
+// and streams must be drained anyway, see CloneWith).
+
+// Clone returns a deep copy of the DSB: identical contents, recency
+// ticks, partitioning mode, and statistics.
+func (d *DSB) Clone() *DSB {
+	c := &DSB{p: d.p, tick: d.tick, partitioned: d.partitioned, stats: d.stats}
+	c.sets = make([][]dsbEntry, len(d.sets))
+	for i, set := range d.sets {
+		c.sets[i] = append(make([]dsbEntry, 0, cap(set)), set...)
+	}
+	return c
+}
+
+// cloneWith returns a deep copy of the detector retargeted at the given
+// alignment tracker (the tracker is shared by both threads' detectors on
+// a core, so the core clones it once and hands it to both).
+func (l *LSD) cloneWith(align *AlignTracker) *LSD {
+	c := *l
+	c.align = align
+	c.windows = append([]uint64(nil), l.windows...)
+	c.lockedWindows = append([]uint64(nil), l.lockedWindows...)
+	return &c
+}
+
+// Clone returns a copy of the alignment tracker.
+func (a *AlignTracker) Clone() *AlignTracker {
+	c := *a
+	return &c
+}
+
+func (b *switchBuffer) clone() *switchBuffer {
+	c := *b
+	c.addrs = append([]uint64(nil), b.addrs...)
+	c.counts = append([]uint8(nil), b.counts...)
+	return &c
+}
+
+// CloneWith returns a deep copy of the frontend. The clone's L1I is the
+// caller-provided cache: the core owns the L1I and shares it with its
+// frontend, so the core clones it once and passes it in. Both threads'
+// streams must be drained — a frontend cannot be cloned mid-stream, and
+// an idle core guarantees this.
+func (f *Frontend) CloneWith(l1i *cache.Cache) *Frontend {
+	for t := 0; t < 2; t++ {
+		if f.thr[t].stream != nil {
+			panic("frontend: CloneWith on an undrained stream")
+		}
+	}
+	g := &Frontend{
+		P:     f.P,
+		DSB:   f.DSB.Clone(),
+		L1I:   l1i,
+		align: f.align.Clone(),
+		sw:    f.sw.clone(),
+		thr:   f.thr,
+		Ctr:   f.Ctr,
+	}
+	for t := 0; t < 2; t++ {
+		t := t
+		g.BPU[t] = f.BPU[t].Clone()
+		g.lsd[t] = f.lsd[t].cloneWith(g.align)
+		g.idq[t] = f.idq[t]
+		g.idq[t].buf = append([]isa.Inst(nil), f.idq[t].buf...)
+		g.dsbRes[t] = func(w uint64) bool { return g.DSB.Contains(t, w) }
+	}
+	return g
+}

@@ -41,6 +41,12 @@ type DSB struct {
 	tick        uint64
 	partitioned bool
 	stats       DSBStats
+
+	// evictScratch backs the Evicted slices Fill and SetPartitioned
+	// return; eviction-heavy channels call Fill every few cycles and the
+	// result is consumed before the next call, so one buffer is reused.
+	evictScratch []Evicted
+	survScratch  []dsbEntry
 }
 
 // NewDSB builds an empty DSB from p.
@@ -104,7 +110,9 @@ func (d *DSB) Contains(thread int, window uint64) bool {
 // least-recently-used windows until its lines fit in the set. Windows
 // that exceed DSBLinesPerWindow lines are not cacheable and are dropped
 // (fill fails silently; the window keeps decoding through MITE). The
-// returned list names every window evicted to make room.
+// returned list names every window evicted to make room; it aliases a
+// scratch buffer that is only valid until the next Fill or
+// SetPartitioned call.
 func (d *DSB) Fill(thread int, window uint64, uops int) []Evicted {
 	lines := (uops + d.p.DSBLineUOps - 1) / d.p.DSBLineUOps
 	if lines == 0 {
@@ -119,10 +127,11 @@ func (d *DSB) Fill(thread int, window uint64, uops int) []Evicted {
 	d.tick++
 	idx := d.SetIndex(thread, window)
 	set := d.sets[idx]
-	var evicted []Evicted
+	evicted := d.evictScratch[:0]
 	for d.usedLines(set)+lines > d.p.DSBWays {
 		v := d.lruVictim(set)
 		if v < 0 {
+			d.evictScratch = evicted
 			return evicted // cannot make room (shouldn't happen)
 		}
 		evicted = append(evicted, Evicted{Thread: set[v].thread, Window: set[v].window})
@@ -144,6 +153,7 @@ func (d *DSB) Fill(thread int, window uint64, uops int) []Evicted {
 	}
 	d.sets[idx] = set
 	d.stats.Fills++
+	d.evictScratch = evicted
 	return evicted
 }
 
@@ -173,12 +183,13 @@ func (d *DSB) lruVictim(set []dsbEntry) int {
 // forces DSB evictions of micro-ops of the first thread" (Section IV-B).
 // The invalidated windows are returned so the owning threads' LSDs can be
 // flushed.
+// The returned slice aliases the same scratch buffer as Fill's.
 func (d *DSB) SetPartitioned(on bool) []Evicted {
 	if d.partitioned == on {
 		return nil
 	}
-	var surviving []dsbEntry
-	var evicted []Evicted
+	surviving := d.survScratch[:0]
+	evicted := d.evictScratch[:0]
 	for si := range d.sets {
 		for _, e := range d.sets[si] {
 			if !e.valid {
@@ -201,6 +212,8 @@ func (d *DSB) SetPartitioned(on bool) []Evicted {
 	for _, e := range surviving {
 		d.sets[d.SetIndex(e.thread, e.window)] = append(d.sets[d.SetIndex(e.thread, e.window)], e)
 	}
+	d.survScratch = surviving
+	d.evictScratch = evicted
 	return evicted
 }
 

@@ -28,22 +28,38 @@ type Frontend struct {
 	thr   [2]fthread
 	idq   [2]idqRing
 
+	// dsbRes are the per-thread DSB-residency probes handed to the LSDs,
+	// built once so the per-instruction advance path does not reconstruct
+	// a closure.
+	dsbRes [2]func(window uint64) bool
+
 	// Ctr holds per-thread event counters.
 	Ctr [2]ThreadCounters
 }
 
 // idqRing is the per-thread Instruction Decode Queue: the micro-op buffer
-// between frontend delivery and backend retirement (Figure 1).
+// between frontend delivery and backend retirement (Figure 1). The buffer
+// is sized to the next power of two above the IDQ capacity so the ring
+// arithmetic is a mask instead of a modulo.
 type idqRing struct {
 	buf  []isa.Inst
+	mask int
 	head int
 	size int // micro-ops buffered
+}
+
+func newIDQRing(capacity int) idqRing {
+	n := 1
+	for n <= capacity {
+		n <<= 1
+	}
+	return idqRing{buf: make([]isa.Inst, n), mask: n - 1}
 }
 
 func (q *idqRing) free(cap int) int { return cap - q.size }
 
 func (q *idqRing) push(in isa.Inst) {
-	i := (q.head + q.size) % len(q.buf)
+	i := (q.head + q.size) & q.mask
 	q.buf[i] = in
 	q.size += int(in.UOps)
 }
@@ -53,7 +69,7 @@ func (q *idqRing) pop() (isa.Inst, bool) {
 		return isa.Inst{}, false
 	}
 	in := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & q.mask
 	q.size -= int(in.UOps)
 	return in, true
 }
@@ -88,9 +104,11 @@ func New(p Params, l1i *cache.Cache, lsdEnabled bool) *Frontend {
 		sw:    newSwitchBuffer(p.SwitchBufSize),
 	}
 	for t := 0; t < 2; t++ {
+		t := t
 		f.BPU[t] = branch.New()
 		f.lsd[t] = NewLSD(p, lsdEnabled, f.align)
-		f.idq[t] = idqRing{buf: make([]isa.Inst, p.IDQCapacity+1)}
+		f.idq[t] = newIDQRing(p.IDQCapacity)
+		f.dsbRes[t] = func(w uint64) bool { return f.DSB.Contains(t, w) }
 	}
 	return f
 }
@@ -197,7 +215,15 @@ func (f *Frontend) load(t int) bool {
 	if th.stream == nil {
 		return false
 	}
-	in, ok := th.stream.Next()
+	// Devirtualize the overwhelmingly common stream type: every attack
+	// loop is a LoopStream, and the static call inlines.
+	var in isa.Inst
+	var ok bool
+	if ls, isLoop := th.stream.(*isa.LoopStream); isLoop {
+		in, ok = ls.Next()
+	} else {
+		in, ok = th.stream.Next()
+	}
 	if !ok {
 		th.stream = nil
 		f.finalizeFill(t)
@@ -217,7 +243,7 @@ func (f *Frontend) advance(t int) isa.Inst {
 	th.hasCur = false
 	th.prevLCP = in.HasLCP()
 	f.idq[t].push(in)
-	f.lsd[t].Observe(in, func(w uint64) bool { return f.DSB.Contains(t, w) })
+	f.lsd[t].Observe(in, f.dsbRes[t])
 	if in.Kind == isa.Pause {
 		th.stall += f.P.PauseCycles
 	}

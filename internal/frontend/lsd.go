@@ -113,7 +113,9 @@ func (l *LSD) Flushes() uint64 { return l.flushes }
 // the inclusive-hierarchy requirement means a loop can only lock while its
 // windows are all cached.
 func (l *LSD) Observe(in isa.Inst, dsbResident func(window uint64) bool) {
-	crossing := isa.Window(in.End()-1) != isa.Window(in.Addr)
+	wAddr := isa.Window(in.Addr)
+	wEnd := isa.Window(in.End() - 1)
+	crossing := wEnd != wAddr
 	if crossing {
 		// Misaligned instructions poison the shared alignment tracker
 		// regardless of which thread executes them (Section IV-G, V-B).
@@ -124,9 +126,9 @@ func (l *LSD) Observe(in isa.Inst, dsbResident func(window uint64) bool) {
 	}
 	if l.tracking {
 		l.uops += int(in.UOps)
-		l.noteWindow(isa.Window(in.Addr))
+		l.noteWindow(wAddr)
 		if crossing {
-			l.noteWindow(isa.Window(in.End() - 1))
+			l.noteWindow(wEnd)
 			l.crossings++
 		}
 		if l.uops > l.p.LSDCapacityUOps {

@@ -59,7 +59,7 @@ func TestIDQRingFIFO(t *testing.T) {
 		if len(addrs) > 64 {
 			addrs = addrs[:64]
 		}
-		q := idqRing{buf: make([]isa.Inst, 65)}
+		q := newIDQRing(64)
 		for _, a := range addrs {
 			q.push(isa.Inst{Addr: uint64(a), UOps: 1})
 		}

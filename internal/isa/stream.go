@@ -26,12 +26,35 @@ func NewLoopStream(blocks []*Block, iters int) *LoopStream {
 	if len(blocks) == 0 {
 		panic("isa: NewLoopStream with no blocks")
 	}
-	if iters < 1 {
-		panic("isa: NewLoopStream with iters < 1")
+	return NewFlatLoopStream(Flatten(blocks), iters)
+}
+
+// Flatten concatenates a chained block group's instructions into one
+// contiguous slice. Channels flatten their block layouts once at
+// construction and wrap the result with NewFlatLoopStream per bit,
+// instead of re-flattening on every stream build.
+func Flatten(blocks []*Block) []Inst {
+	n := 0
+	for _, b := range blocks {
+		n += len(b.Insts)
 	}
-	var flat []Inst
+	flat := make([]Inst, 0, n)
 	for _, b := range blocks {
 		flat = append(flat, b.Insts...)
+	}
+	return flat
+}
+
+// NewFlatLoopStream is NewLoopStream over a pre-flattened instruction
+// sequence. The stream reads flat but never writes it (the final
+// back-edge's Taken flip happens on a copy), so one flattened layout can
+// back any number of streams, sequentially or concurrently.
+func NewFlatLoopStream(flat []Inst, iters int) *LoopStream {
+	if len(flat) == 0 {
+		panic("isa: NewFlatLoopStream with no instructions")
+	}
+	if iters < 1 {
+		panic("isa: NewFlatLoopStream with iters < 1")
 	}
 	return &LoopStream{flat: flat, iters: iters}
 }

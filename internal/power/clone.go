@@ -1,0 +1,8 @@
+package power
+
+// Clone returns a deep copy of the meter: identical accumulated energy,
+// RAPL publication state, and read counts.
+func (m *Meter) Clone() *Meter {
+	c := *m
+	return &c
+}

@@ -68,13 +68,20 @@ func NewMeter(p Params) *Meter { return &Meter{P: p} }
 // AddCycle accrues one cycle of energy given the frontend delta counters
 // for that cycle and the number of micro-ops retired.
 func (m *Meter) AddCycle(d frontend.ThreadCounters, retired int) {
+	m.AddCycleDelta(d.UOpsLSD, d.UOpsDSB, d.UOpsMITE, d.StallCycles, retired)
+}
+
+// AddCycleDelta is AddCycle taking just the four counters the energy
+// model reads, so the per-cycle caller need not assemble a full
+// ThreadCounters struct.
+func (m *Meter) AddCycleDelta(uopsLSD, uopsDSB, uopsMITE, stallCycles uint64, retired int) {
 	m.cycles++
 	e := m.P.StaticWatts
-	e += float64(d.UOpsLSD) * m.P.EnergyLSDUOp
-	e += float64(d.UOpsDSB) * m.P.EnergyDSBUOp
-	e += float64(d.UOpsMITE) * m.P.EnergyMITEUOp
+	e += float64(uopsLSD) * m.P.EnergyLSDUOp
+	e += float64(uopsDSB) * m.P.EnergyDSBUOp
+	e += float64(uopsMITE) * m.P.EnergyMITEUOp
 	e += float64(retired) * m.P.EnergyRetireUOp
-	e += float64(d.StallCycles) * m.P.EnergyStallCycle
+	e += float64(stallCycles) * m.P.EnergyStallCycle
 	m.energy += e
 
 	if m.cycles-m.raplCycle >= m.P.RAPLIntervalCycles {

@@ -1,0 +1,10 @@
+package rng
+
+// Clone returns an independent generator that continues the identical
+// stream from r's current position, leaving r undisturbed. Unlike Fork,
+// the two generators then produce the *same* sequence — Clone exists so
+// a calibrated simulator snapshot can be replayed byte-for-byte.
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}

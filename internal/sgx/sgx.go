@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/attack"
+	"repro/internal/channel"
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/runctx"
@@ -51,6 +52,8 @@ type NonMTChannel struct {
 	zero []*isa.Block
 	base []*isa.Block
 	pad  *isa.Block
+
+	oneFlat, zeroFlat, baseFlat []isa.Inst
 }
 
 // NewNonMT builds the SGX variant of a non-MT channel. The configuration
@@ -69,6 +72,11 @@ func NewNonMT(cfg attack.NonMTConfig) *NonMTChannel {
 		zero: inner.BlocksZero(),
 		base: inner.BlocksBase(),
 		pad:  isa.PauseBlock(isa.AddrForSet(30, 20), 0),
+	}
+	c.oneFlat = isa.Flatten(c.one)
+	c.baseFlat = isa.Flatten(c.base)
+	if c.zero != nil {
+		c.zeroFlat = isa.Flatten(c.zero)
 	}
 	return c
 }
@@ -100,17 +108,17 @@ func (c *NonMTChannel) SendBit(m byte) float64 {
 	if c.rc.Err() != nil {
 		return 0 // cancelled: the caller discards this bit
 	}
-	blocks := c.one
+	flat := c.oneFlat
 	if m == '0' {
-		blocks = c.zero
-		if blocks == nil {
-			blocks = c.base
+		flat = c.zeroFlat
+		if flat == nil {
+			flat = c.baseFlat
 		}
 	}
 	model := c.cfg.Model
 	// Enclave entry.
 	c.core.RunCycles(uint64(model.EnclaveTransitionCycles))
-	meas := c.core.RunTimed(0, isa.NewLoopStream(blocks, c.cfg.P))
+	meas := c.core.RunTimed(0, isa.NewFlatLoopStream(flat, c.cfg.P))
 	// Per-iteration enclave overhead occupies real time.
 	c.core.RunCycles(uint64(c.cfg.P * iterPad))
 	// Enclave exit.
@@ -133,6 +141,10 @@ type MTChannel struct {
 
 	recv   []*isa.Block
 	sender []*isa.Block
+
+	recvFlat, senderFlat []isa.Inst
+	measBuf              []float64
+	measCb               func(v float64)
 }
 
 // NewMT builds the MT SGX variant. A non-positive Measurements count
@@ -143,12 +155,17 @@ func NewMT(cfg attack.MTConfig) *MTChannel {
 		cfg.Measurements = MTMeasurements
 	}
 	inner := attack.NewMT(cfg)
-	return &MTChannel{
+	c := &MTChannel{
 		cfg:    cfg,
 		core:   inner.Core(),
 		recv:   inner.ReceiverBlocks(),
 		sender: attack.SGXSenderChain(cfg, 250),
 	}
+	c.recvFlat = isa.Flatten(c.recv)
+	c.senderFlat = isa.Flatten(c.sender)
+	c.measBuf = make([]float64, 0, cfg.Measurements)
+	c.measCb = func(v float64) { c.measBuf = append(c.measBuf, v) }
+	return c
 }
 
 // BindCtx implements channel.CtxAware.
@@ -172,17 +189,15 @@ func (c *MTChannel) SendBit(m byte) float64 {
 	// One enclave entry per bit on the sender thread.
 	c.core.RunCycles(uint64(model.EnclaveTransitionCycles))
 	if m == '1' {
-		c.core.Enqueue(1, isa.NewLoopStream(c.sender, MTEncodeIters), nil)
+		c.core.Enqueue(1, isa.NewFlatLoopStream(c.senderFlat, MTEncodeIters), nil)
 	}
 	// Receiver passes stay short (the plain MT length): the partition
 	// signal concentrates in the passes right after the enclave starts
 	// executing, and long passes would dilute it.
 	const iters = 10
-	meas := make([]float64, 0, c.cfg.Measurements)
+	c.measBuf = c.measBuf[:0]
 	for i := 0; i < c.cfg.Measurements; i++ {
-		c.core.MeasureEnqueue(0, isa.NewLoopStream(c.recv, iters), func(v float64) {
-			meas = append(meas, v)
-		})
+		c.core.MeasureEnqueue(0, isa.NewFlatLoopStream(c.recvFlat, iters), c.measCb)
 	}
 	c.core.RunUntilIdle(2_000_000_000)
 	c.core.RunCycles(uint64(model.EnclaveTransitionCycles))
@@ -192,5 +207,23 @@ func (c *MTChannel) SendBit(m byte) float64 {
 	if c.cfg.Kind == attack.Misalignment {
 		noise *= 0.55
 	}
-	return stats.Mean(meas)/float64(iters) + c.core.R.NormScaled(0, noise)
+	return stats.Mean(c.measBuf)/float64(iters) + c.core.R.NormScaled(0, noise)
+}
+
+// CloneChannel implements channel.Cloneable.
+func (c *NonMTChannel) CloneChannel() channel.BitChannel {
+	d := *c
+	d.core = c.core.Clone()
+	d.rc = runctx.Ctx{}
+	return &d
+}
+
+// CloneChannel implements channel.Cloneable.
+func (c *MTChannel) CloneChannel() channel.BitChannel {
+	d := *c
+	d.core = c.core.Clone()
+	d.rc = runctx.Ctx{}
+	d.measBuf = make([]float64, 0, cap(c.measBuf))
+	d.measCb = func(v float64) { d.measBuf = append(d.measBuf, v) }
+	return &d
 }

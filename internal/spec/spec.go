@@ -475,6 +475,38 @@ func (s ChannelSpec) TransmitCtx(rc runctx.Ctx, message string) (channel.Result,
 	return channel.TransmitCtx(rc, s.Build(m), m.Name, message, s.CalibBits)
 }
 
+// CalibrationKey returns the full measurement identity a calibration
+// snapshot is keyed by: model, mechanism, threading, sink, SGX,
+// stealthiness, contention, defense, protocol parameters, calibration
+// width, and seed. Two specs with equal keys run byte-identical
+// calibration preambles, so their snapshots are interchangeable. The
+// key is the cache key: every field of a spec participates in
+// calibration.
+func (s ChannelSpec) CalibrationKey() string {
+	return s.CacheKey()
+}
+
+// CalibrateCtx resolves and validates the spec, builds its channel, runs
+// the calibration preamble under rc, and returns the memoized
+// calibration snapshot. Transmitting through the snapshot is
+// byte-identical to TransmitCtx on this spec (the unmemoized path runs
+// the same preamble inline before its message bits).
+func (s ChannelSpec) CalibrateCtx(rc runctx.Ctx) (*channel.Calibration, error) {
+	m, err := s.ResolveModel()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ValidateFor(m); err != nil {
+		return nil, err
+	}
+	s = s.Normalize()
+	ch, ok := s.Build(m).(channel.Cloneable)
+	if !ok {
+		return nil, fmt.Errorf("spec: %s builds a non-cloneable channel", s.Mechanism)
+	}
+	return channel.NewCalibrationCtx(rc, ch, m.Name, s.CalibBits)
+}
+
 // Enumerate yields every valid scenario for the given models at the
 // paper-default protocol parameters, in canonical order: defense (the
 // undefended baseline first, then registry order), then mechanism, then

@@ -1,0 +1,67 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+)
+
+// benchOptions is the reduced-but-full-coverage scale the sweep
+// benchmarks run at: every one of the 176 enumerable specs transmits,
+// with the calibration preamble and per-bit repetitions clamped the same
+// way cmd/leakysweep's scale knobs do, so the benchmark exercises every
+// channel family without the power sink's paper-default p=120000
+// dominating the clock.
+func benchOptions(workers int) Options {
+	return Options{Bits: 16, CalibBits: 4, MaxP: 40, Seed: 1, Workers: workers}
+}
+
+// BenchmarkSweep_FullSpace is the headline hot-loop benchmark: the whole
+// enumerable scenario space end to end, serially, through the default
+// (calibration-memoizing) runner. Its ns/op and allocs/op are gated by
+// cmd/benchdiff in CI.
+func BenchmarkSweep_FullSpace(b *testing.B) {
+	o := benchOptions(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), Filter{}, o, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != rep.Specs || rep.Specs == 0 {
+			b.Fatalf("sweep incomplete: %d/%d", rep.Completed, rep.Specs)
+		}
+	}
+}
+
+// BenchmarkSweep_FullSpaceUnmemoized pins the cost of the plain
+// per-spec calibrate-then-transmit path, so the memoized runner's
+// benefit stays visible in the trajectory.
+func BenchmarkSweep_FullSpaceUnmemoized(b *testing.B) {
+	o := benchOptions(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), Filter{}, o, Direct, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != rep.Specs || rep.Specs == 0 {
+			b.Fatalf("sweep incomplete: %d/%d", rep.Completed, rep.Specs)
+		}
+	}
+}
+
+// BenchmarkSweep_FullSpaceParallel4 is the same space on four workers:
+// the wall-clock configuration a sweep service actually runs.
+func BenchmarkSweep_FullSpaceParallel4(b *testing.B) {
+	o := benchOptions(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), Filter{}, o, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != rep.Specs {
+			b.Fatalf("sweep incomplete: %d/%d", rep.Completed, rep.Specs)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/channel"
+)
+
+// TestMemoizedSweepByteIdentity is the calibration cache's headline
+// correctness proof: sweeping the scenario space through a fresh Memo
+// (calibrate-once, clone-per-transmission) renders and marshals to
+// exactly the bytes the unmemoized Direct runner produces, at two base
+// seeds and two worker counts. In -short mode the sweep covers the
+// timing slice of the space; the full run covers every spec including
+// the power sink.
+func TestMemoizedSweepByteIdentity(t *testing.T) {
+	f := Filter{}
+	if testing.Short() {
+		f = Filter{Sink: "timing", SGX: TriFalse}
+	}
+	for _, seed := range []uint64{1, 2} {
+		// One Direct reference per seed; worker count cannot change the
+		// bytes (TestRunReportBytesIdenticalAcrossWorkers), so the
+		// parallel reference serves both memoized worker counts.
+		o := shortScale(8)
+		o.Seed = seed
+		direct, err := Run(context.Background(), f, o, Direct, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Specs == 0 || direct.Completed != direct.Specs {
+			t.Fatalf("seed %d: direct sweep did not complete: %d/%d", seed, direct.Completed, direct.Specs)
+		}
+		for _, workers := range []int{1, 8} {
+			mo := shortScale(workers)
+			mo.Seed = seed
+			memo := NewMemo()
+			memoized, err := Run(context.Background(), f, mo, memo.RunFunc(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if memo.Len() == 0 {
+				t.Fatalf("seed %d workers %d: memo never populated — the memoized path did not run", seed, workers)
+			}
+			if !reflect.DeepEqual(direct, memoized) {
+				t.Fatalf("seed %d workers %d: memoized report differs from Direct", seed, workers)
+			}
+			if direct.Render() != memoized.Render() {
+				t.Fatalf("seed %d workers %d: rendered reports differ", seed, workers)
+			}
+			dj, _ := json.Marshal(direct)
+			mj, _ := json.Marshal(memoized)
+			if string(dj) != string(mj) {
+				t.Fatalf("seed %d workers %d: JSON reports differ", seed, workers)
+			}
+		}
+	}
+}
+
+// TestCloneChannelReplaysIdentically pins the property the memoization
+// rests on at the channel layer: a CloneChannel taken mid-transmission
+// replays exactly the measurement sequence the original produces, for
+// one representative of every channel family in the expanded space
+// (mechanism x threading x sink x SGX).
+func TestCloneChannelReplaysIdentically(t *testing.T) {
+	o := shortScale(1)
+	specs, err := Expand(Filter{}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	families := 0
+	for _, cs := range specs {
+		key := fmt.Sprintf("%s|%s|%s|%v", cs.Mechanism, cs.Threading, cs.Sink, cs.SGX)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		families++
+		m, err := cs.ResolveModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, ok := cs.Normalize().Build(m).(channel.Cloneable)
+		if !ok {
+			t.Fatalf("%s: channel is not Cloneable", key)
+		}
+		// Warm past the fresh-construction state so the clone captures
+		// genuinely mid-stream simulator state (caches filled, RNG
+		// advanced, counters nonzero).
+		for i := 0; i < 3; i++ {
+			ch.SendBit("01"[i%2])
+		}
+		cl := ch.CloneChannel()
+		if cyc, ccyc := ch.Cycles(), cl.Cycles(); cyc != ccyc {
+			t.Fatalf("%s: clone cycle counter %d, original %d", key, ccyc, cyc)
+		}
+		for i := 0; i < 8; i++ {
+			bit := "10"[i%2]
+			got, want := cl.SendBit(bit), ch.SendBit(bit)
+			if got != want {
+				t.Fatalf("%s: clone diverges at bit %d: %v vs %v", key, i, got, want)
+			}
+		}
+	}
+	if families < 6 {
+		t.Fatalf("only %d channel families exercised, expected at least 6", families)
+	}
+}

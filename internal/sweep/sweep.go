@@ -135,8 +135,9 @@ type MatrixCell struct {
 }
 
 // RunFunc executes one scenario and returns its transmission. The
-// serving daemon wires this to its cache-aware channel-run path; Direct
-// is the in-process default.
+// serving daemon wires this to its cache-aware channel-run path;
+// Memoized — Direct plus calibration-snapshot reuse, byte-identical to
+// it — is the in-process default.
 type RunFunc func(ctx context.Context, cs spec.ChannelSpec, bits int) (channel.Result, error)
 
 // Direct transmits the scenario in-process, with no cache in front.
@@ -224,7 +225,7 @@ func Run(ctx context.Context, f Filter, o Options, run RunFunc, emit func(Row)) 
 func RunSpecs(ctx context.Context, f Filter, o Options, specs []spec.ChannelSpec, run RunFunc, emit func(Row)) Report {
 	o = o.normalize()
 	if run == nil {
-		run = Direct
+		run = Memoized
 	}
 	rows := make([]Row, len(specs))
 	workers := o.Workers

@@ -1,0 +1,10 @@
+package timer
+
+// Clone returns an independent TSC whose noise stream continues
+// identically from this point: measuring the same durations in the same
+// order on clone and original yields identical readings.
+func (t *TSC) Clone() *TSC {
+	c := *t
+	c.r = t.r.Clone()
+	return &c
+}
