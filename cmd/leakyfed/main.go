@@ -10,6 +10,18 @@
 //	leakyfed -addr :8080 -workers 4 -cache-size 1024 -default-seed 1
 //	leakyfed -cancel-abandoned   # free slots when the last waiter leaves
 //	leakyfed -pprof localhost:6060 -log-format json
+//	leakyfed -cache-dir /var/lib/leakyfed          # persist results across restarts
+//	leakyfed -cache-dir d -precompute -filter 'mech=eviction' -maxp 2000
+//	leakyfed -fleet http://w1:8080,http://w2:8080  # sweep coordinator over workers
+//
+// With -cache-dir every result also persists to disk (one file per
+// canonical cache key, atomic writes, corrupt files quarantined), so a
+// restarted daemon serves byte-identical responses with zero
+// simulations. -precompute materializes the -filter shard of the
+// scenario space into the store and exits instead of serving. -fleet
+// turns the daemon into a sweep coordinator: POST /v1/sweeps
+// consistent-hashes the shard's specs across the worker URLs, merges
+// their rows, and degrades gracefully when workers die.
 //
 // Simulations are cancellable: shutdown (SIGINT/SIGTERM) cancels every
 // in-flight run at its next cooperative checkpoint before draining
@@ -55,6 +67,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -75,6 +88,12 @@ func main() {
 		logFormat = flag.String("log-format", "text", "request log format on stderr: text|json")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables profiling")
 		traceBuf  = flag.Int("trace-buffer", 32, "how many completed ?trace=1 request traces GET /v1/traces retains")
+		cacheDir  = flag.String("cache-dir", "", "persist results to this directory (read-through/write-through under the LRU); empty disables persistence")
+		fleetURLs = flag.String("fleet", "", "comma-separated worker base URLs (http://host:port); makes this daemon a sweep coordinator that scatters POST /v1/sweeps across them")
+		precomp   = flag.Bool("precompute", false, "materialize the -filter shard of the scenario space into -cache-dir, then exit instead of serving")
+		pcFilter  = flag.String("filter", "", "sweep filter for -precompute (empty = the whole valid space)")
+		pcCalib   = flag.Int("calib", 0, "calibration-preamble override for -precompute (0 = per-spec default)")
+		pcMaxP    = flag.Int("maxp", 0, "clamp every spec's p parameter for -precompute (0 = spec defaults)")
 	)
 	flag.Parse()
 
@@ -90,6 +109,23 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	var st *leaky.ResultStore
+	if *cacheDir != "" {
+		var err error
+		if st, err = leaky.OpenResultStore(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "leakyfed: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var coord *leaky.FleetCoordinator
+	if *fleetURLs != "" {
+		var err error
+		if coord, err = leaky.NewFleetCoordinator(strings.Split(*fleetURLs, ","), nil); err != nil {
+			fmt.Fprintf(os.Stderr, "leakyfed: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	srv := leaky.NewServer(leaky.ServeConfig{
 		Opts:            leaky.ExperimentOpts{Bits: *bits, Seed: *seed, Samples: *samples},
 		Workers:         *workers,
@@ -99,7 +135,26 @@ func main() {
 		CancelAbandoned: *cancelAb,
 		Logger:          logger,
 		TraceBuffer:     *traceBuf,
+		Store:           st,
+		Fleet:           coord,
 	})
+
+	if *precomp {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		report, err := srv.Precompute(ctx, *pcFilter, *pcCalib, *pcMaxP)
+		srv.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leakyfed: precompute: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("leakyfed: precomputed %d of %d specs into %s\n",
+			report.Completed, report.Specs, *cacheDir)
+		if report.Completed < report.Specs {
+			os.Exit(1)
+		}
+		return
+	}
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),

@@ -16,6 +16,13 @@
 //	leakysweep -json -progress                    # report JSON, progress on stderr
 //	leakysweep -advisory "Gold 6226" -maxp 2000   # render the model's security advisory
 //	leakysweep -trace sweep.json                  # also write a Chrome trace_event profile
+//	leakysweep -store /var/lib/leakyfed           # share the daemon's on-disk result store
+//
+// -store layers the persistent result store leakyfed uses for
+// -cache-dir under the sweep: specs already on disk are served without
+// simulating, and every simulated spec is written through — so CLI
+// sweeps warm (and are warmed by) the same store the daemon serves
+// from. The report bytes are identical with or without -store.
 //
 // The filter grammar is comma-separated key=value clauses: globs for
 // model/mech/thread/sink (case-insensitive), true|false for
@@ -53,6 +60,7 @@ func main() {
 		list     = flag.Bool("list", false, "print the expanded shard and exit without running")
 		advisory = flag.String("advisory", "", "sweep the named model across every defense and render its security advisory (overrides -filter)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event profile of the sweep to this file (load in about:tracing or ui.perfetto.dev)")
+		storeDir = flag.String("store", "", "read and warm the persistent result store at this directory (the same layout leakyfed -cache-dir uses)")
 	)
 	flag.Parse()
 
@@ -105,7 +113,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%d] %s  %s\n", done, row.Canonical, status)
 		}
 	}
-	report, err := leaky.SweepCtx(ctx, f, o, emit)
+	var run leaky.SweepRunFunc
+	if *storeDir != "" {
+		st, err := leaky.OpenResultStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		run = leaky.StoreSweepRunFunc(st)
+	}
+	report, err := leaky.SweepRunCtx(ctx, f, o, run, emit)
 	if tr != nil {
 		tr.Finish()
 		if werr := writeTrace(*traceOut, tr); werr != nil {

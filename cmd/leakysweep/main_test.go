@@ -60,3 +60,58 @@ func TestTraceOutputIsValidChromeTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreShareableAcrossRuns exercises -store at the API level the
+// flag wires up: a first sweep populates the on-disk store, a second
+// process (fresh store handle, same dir) sweeps the same shard entirely
+// from disk — zero store misses, byte-identical report — and the store
+// layout is the one leakyfed -cache-dir serves from.
+func TestStoreShareableAcrossRuns(t *testing.T) {
+	f, err := leaky.ParseSweepFilter("mech=eviction,thread=nonmt,sink=timing,sgx=false,model=Xeon E-2174G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := leaky.SweepOptions{Bits: 8, Seed: 1, MaxP: 2000, Workers: 2}
+	dir := t.TempDir()
+
+	st1, err := leaky.OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := leaky.SweepRunCtx(context.Background(), f, o, leaky.StoreSweepRunFunc(st1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Completed != first.Specs || first.Specs == 0 {
+		t.Fatalf("first sweep completed %d of %d specs", first.Completed, first.Specs)
+	}
+	if n := st1.Len(); n != first.Specs {
+		t.Fatalf("store holds %d entries, want %d (one per spec)", n, first.Specs)
+	}
+
+	st2, err := leaky.OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := leaky.SweepRunCtx(context.Background(), f, o, leaky.StoreSweepRunFunc(st2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := second.Render(), first.Render(); got != want {
+		t.Errorf("second run differs from first:\n%s\nvs\n%s", got, want)
+	}
+	stats := st2.Stats()
+	if stats.Misses != 0 || stats.Hits != uint64(first.Specs) {
+		t.Errorf("second run hit/missed the store %d/%d times, want %d/0", stats.Hits, stats.Misses, first.Specs)
+	}
+
+	// And without the store the report is byte-identical too: -store is
+	// a pure optimization, never a semantic change.
+	plain, err := leaky.SweepCtx(context.Background(), f, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := plain.Render(), first.Render(); got != want {
+		t.Errorf("store-backed report differs from plain sweep:\n%s\nvs\n%s", got, want)
+	}
+}

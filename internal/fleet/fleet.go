@@ -1,0 +1,401 @@
+// Package fleet scales sweeps out: a coordinator that consistent-hashes
+// spec cache keys across a fleet of leakyfed worker nodes, scatters
+// sweep shards over HTTP, and merges the per-shard rows back into one
+// report byte-identical to a single-node run.
+//
+// Determinism makes scatter/gather trivial to get right here: every row
+// is a pure function of its spec (per-spec seeds are split before
+// scattering, by the same sweep.Expand the single-node path uses), so
+// it does not matter which worker runs a spec, whether a spec runs
+// twice, or how shards interleave — the merged rows are the rows a
+// single node would have produced. Consistent hashing is therefore not
+// a correctness mechanism but a cache-locality one: the same spec
+// always lands on the same worker, so each worker's LRU and on-disk
+// store hold exactly its slice of the space and a re-sweep is all hits
+// fleet-wide.
+//
+// Failure handling follows from the same property: when a worker dies
+// mid-sweep (connection error, short stream, non-200), its unfinished
+// specs are re-hashed across the survivors and re-scattered; rows it
+// delivered before dying are kept. Only when no workers remain do the
+// leftover rows carry an error.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// ShardPath is the worker endpoint the coordinator scatters shards to
+// (POST, ShardRequest body, NDJSON IndexedRow response).
+const ShardPath = "/v1/shards"
+
+// ShardRequest is the scatter payload: an explicit list of specs (with
+// their indices in the coordinator's canonical enumeration order) and
+// the message length. Specs arrive fully expanded — seeds split,
+// scale overrides applied — so a worker never re-derives them.
+type ShardRequest struct {
+	Bits  int           `json:"bits"`
+	Specs []IndexedSpec `json:"specs"`
+}
+
+// IndexedSpec pairs a spec with its canonical-order index, which the
+// worker echoes back so the coordinator can merge rows positionally.
+type IndexedSpec struct {
+	Index int              `json:"index"`
+	Spec  spec.ChannelSpec `json:"spec"`
+}
+
+// IndexedRow is one NDJSON line of a worker's shard response.
+type IndexedRow struct {
+	Index int       `json:"index"`
+	Row   sweep.Row `json:"row"`
+}
+
+// Stats is a point-in-time snapshot of a coordinator's counters,
+// rendered into /metrics by the serving layer.
+type Stats struct {
+	Scatters       uint64 // shard RPCs issued
+	MergedRows     uint64 // rows merged into reports
+	WorkerFailures uint64 // workers marked dead (connection/stream/status failures)
+	Rehashes       uint64 // scatter rounds re-run over survivors after a failure
+	Workers        int    // configured fleet size
+	LiveWorkers    int    // workers not yet marked dead
+}
+
+// Coordinator scatters sweep shards across a fixed set of worker base
+// URLs. A worker that fails is marked dead for the coordinator's
+// lifetime; its keyspace re-hashes to the survivors. All methods are
+// safe for concurrent use; a nil *Coordinator means "no fleet" to the
+// serving layer (Stats reports zeros).
+type Coordinator struct {
+	workers []string
+	client  *http.Client
+
+	mu   sync.Mutex
+	dead map[string]bool
+
+	scatters, mergedRows, failures, rehashes atomic.Uint64
+}
+
+// New builds a coordinator over the workers' base URLs (scheme://host
+// [:port], no path). client nil means a default client with no overall
+// timeout — shard lifetimes are governed by the sweep's context.
+func New(workers []string, client *http.Client) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers")
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+	seen := map[string]bool{}
+	cleaned := make([]string, 0, len(workers))
+	for _, w := range workers {
+		w = strings.TrimRight(strings.TrimSpace(w), "/")
+		u, err := url.Parse(w)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" || u.Path != "" {
+			return nil, fmt.Errorf("fleet: bad worker URL %q (want http[s]://host[:port])", w)
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("fleet: duplicate worker %q", w)
+		}
+		seen[w] = true
+		cleaned = append(cleaned, w)
+	}
+	return &Coordinator{workers: cleaned, client: client, dead: map[string]bool{}}, nil
+}
+
+// Workers returns the configured worker URLs.
+func (c *Coordinator) Workers() []string { return append([]string(nil), c.workers...) }
+
+// Stats returns a snapshot of the coordinator's counters; nil reports
+// zeros so the serving layer can render fleet metrics unconditionally.
+func (c *Coordinator) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	live := len(c.workers) - len(c.dead)
+	c.mu.Unlock()
+	return Stats{
+		Scatters:       c.scatters.Load(),
+		MergedRows:     c.mergedRows.Load(),
+		WorkerFailures: c.failures.Load(),
+		Rehashes:       c.rehashes.Load(),
+		Workers:        len(c.workers),
+		LiveWorkers:    live,
+	}
+}
+
+// live returns the workers not marked dead, in configuration order.
+func (c *Coordinator) live() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, w := range c.workers {
+		if !c.dead[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// markDead retires a worker for the coordinator's lifetime.
+func (c *Coordinator) markDead(w string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dead[w] {
+		c.dead[w] = true
+		c.failures.Add(1)
+	}
+}
+
+// Sweep scatters specs (the coordinator's canonical-order shard, as
+// returned by sweep.Expand) across the live workers and returns the
+// merged rows, index-aligned with specs. onRow, when non-nil, is
+// called serially as each row lands — in arrival order, not canonical
+// order; callers that stream canonical-order output reorder on top.
+//
+// A worker failure re-hashes its unfinished specs over the survivors;
+// when no workers remain (or ctx is cancelled), the unfinished rows
+// carry Err. Rows are deterministic, so the merged result is
+// byte-identical to a single-node sweep regardless of worker count,
+// deaths, or scheduling.
+func (c *Coordinator) Sweep(ctx context.Context, specs []spec.ChannelSpec, bits int, onRow func(int, sweep.Row)) []sweep.Row {
+	rows := make([]sweep.Row, len(specs))
+	done := make([]bool, len(specs))
+	var emitMu sync.Mutex
+	deliver := func(i int, row sweep.Row) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if done[i] {
+			return
+		}
+		done[i], rows[i] = true, row
+		c.mergedRows.Add(1)
+		if onRow != nil {
+			onRow(i, row)
+		}
+	}
+
+	pending := make([]int, len(specs))
+	for i := range specs {
+		pending[i] = i
+	}
+	for round := 0; len(pending) > 0; round++ {
+		live := c.live()
+		if len(live) == 0 || ctx.Err() != nil {
+			msg := "fleet: no live workers"
+			if err := ctx.Err(); err != nil {
+				msg = err.Error()
+			}
+			for _, i := range pending {
+				deliver(i, sweep.Row{Spec: specs[i], Canonical: specs[i].String(), Err: msg})
+			}
+			return rows
+		}
+		if round > 0 {
+			c.rehashes.Add(1)
+		}
+		ring := NewRing(live)
+		shards := map[string][]int{}
+		for _, i := range pending {
+			owner := ring.Owner(specs[i].CacheKey())
+			shards[owner] = append(shards[owner], i)
+		}
+		var wg sync.WaitGroup
+		var failMu sync.Mutex
+		failed := map[string]bool{}
+		for w, idxs := range shards {
+			c.scatters.Add(1)
+			wg.Add(1)
+			go func(w string, idxs []int) {
+				defer wg.Done()
+				sctx, span := obs.Start(ctx, "fleet.scatter",
+					obs.String("worker", w), obs.Int("specs", len(idxs)), obs.Int("round", round))
+				err := c.sendShard(sctx, w, idxs, specs, bits, deliver)
+				if err != nil {
+					span.SetAttr("err", err.Error())
+					failMu.Lock()
+					failed[w] = true
+					failMu.Unlock()
+				}
+				span.End()
+			}(w, idxs)
+		}
+		wg.Wait()
+		for w := range failed {
+			c.markDead(w)
+		}
+		var rest []int
+		emitMu.Lock()
+		for _, i := range pending {
+			if !done[i] {
+				rest = append(rest, i)
+			}
+		}
+		emitMu.Unlock()
+		pending = rest
+	}
+	return rows
+}
+
+// busyRetryMax bounds how long a coordinator keeps retrying a worker's
+// 429 backpressure before declaring it failed (~2s at 5ms steps) —
+// long enough to ride out a transient queue spike, short enough that a
+// wedged-full worker re-hashes instead of stalling the sweep.
+const (
+	busyRetryMax   = 400
+	busyRetryDelay = 5 * time.Millisecond
+)
+
+// sendShard posts one shard to a worker and streams its rows into
+// deliver. It returns an error — the worker is then marked dead — on
+// connection failure, a non-200/429 status, an undecodable stream, or
+// a stream that ends before every requested row landed (a truncated
+// response is a dying worker, and re-hashing a possibly-duplicated
+// spec is free because rows are deterministic). Rows carrying Err are
+// treated as undelivered for the same reason: they are what a worker's
+// mid-shutdown cancellation produces, and a survivor can still compute
+// the real thing.
+func (c *Coordinator) sendShard(ctx context.Context, worker string, idxs []int, specs []spec.ChannelSpec, bits int, deliver func(int, sweep.Row)) error {
+	req := ShardRequest{Bits: bits, Specs: make([]IndexedSpec, len(idxs))}
+	want := make(map[int]bool, len(idxs))
+	for k, i := range idxs {
+		req.Specs[k] = IndexedSpec{Index: i, Spec: specs[i]}
+		want[i] = true
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("fleet: encoding shard: %v", err)
+	}
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+ShardPath, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("fleet: %v", err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(hreq)
+		if err != nil {
+			return fmt.Errorf("fleet: %s: %v", worker, err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if attempt >= busyRetryMax {
+				return fmt.Errorf("fleet: %s: still busy after %d retries", worker, attempt)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(busyRetryDelay):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return fmt.Errorf("fleet: %s: %s: %s", worker, resp.Status, bytes.TrimSpace(msg))
+		}
+		err = func() error {
+			defer resp.Body.Close()
+			dec := json.NewDecoder(resp.Body)
+			for {
+				var ir IndexedRow
+				if derr := dec.Decode(&ir); derr == io.EOF {
+					return nil
+				} else if derr != nil {
+					return fmt.Errorf("fleet: %s: reading shard stream: %v", worker, derr)
+				}
+				if !want[ir.Index] || ir.Row.Err != "" {
+					continue
+				}
+				delete(want, ir.Index)
+				deliver(ir.Index, ir.Row)
+			}
+		}()
+		if err != nil {
+			return err
+		}
+		if len(want) > 0 {
+			return fmt.Errorf("fleet: %s: shard stream ended with %d of %d rows missing", worker, len(want), len(idxs))
+		}
+		return nil
+	}
+}
+
+// ringReplicas is the virtual-node count per worker: enough that the
+// keyspace splits near-evenly across a handful of nodes, cheap enough
+// that ring construction stays trivial.
+const ringReplicas = 64
+
+// Ring is a consistent-hash ring over worker names. Hashing is FNV-1a
+// over stable strings, so the spec→worker assignment is identical in
+// every process — the property that makes each worker's cache hold
+// exactly its slice of the space across coordinator restarts.
+type Ring struct {
+	hashes []uint64
+	owners []string
+}
+
+// NewRing builds a ring over nodes (order-insensitive: assignment
+// depends only on the set).
+func NewRing(nodes []string) *Ring {
+	r := &Ring{
+		hashes: make([]uint64, 0, len(nodes)*ringReplicas),
+		owners: make([]string, 0, len(nodes)*ringReplicas),
+	}
+	type pt struct {
+		h uint64
+		n string
+	}
+	pts := make([]pt, 0, len(nodes)*ringReplicas)
+	for _, n := range nodes {
+		for i := 0; i < ringReplicas; i++ {
+			pts = append(pts, pt{hash64(fmt.Sprintf("%s#%d", n, i)), n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].n < pts[j].n // total order even on hash collisions
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.owners = append(r.owners, p.n)
+	}
+	return r
+}
+
+// Owner returns the node owning key: the first ring point at or after
+// the key's hash, wrapping around.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owners[i]
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

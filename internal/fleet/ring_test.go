@@ -1,0 +1,52 @@
+package fleet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestRingDeterministicAndOrderInsensitive pins the property cache
+// locality rests on: the spec→worker assignment depends only on the
+// set of live nodes, never on configuration order or which process
+// built the ring.
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1 := fleet.NewRing(nodes)
+	r2 := fleet.NewRing([]string{nodes[2], nodes[0], nodes[1]})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("chan-v2|key-%d", i)
+		if got, want := r2.Owner(key), r1.Owner(key); got != want {
+			t.Fatalf("key %q: owner depends on node order (%s vs %s)", key, got, want)
+		}
+	}
+}
+
+// TestRingSpreadsAndMinimallyMoves checks the two consistent-hashing
+// promises at fleet scale: the keyspace splits across every node, and
+// removing one node only moves the keys that node owned.
+func TestRingSpreadsAndMinimallyMoves(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	full := fleet.NewRing(nodes)
+	counts := map[string]int{}
+	owners := map[string]string{}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("chan-v2|key-%d", i)
+		o := full.Owner(key)
+		counts[o]++
+		owners[key] = o
+	}
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Errorf("node %s owns no keys; keyspace did not spread", n)
+		}
+	}
+	shrunk := fleet.NewRing(nodes[:2])
+	for key, before := range owners {
+		after := shrunk.Owner(key)
+		if before != nodes[2] && after != before {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+}

@@ -112,12 +112,12 @@ func (s *Server) handleAdvisory(w http.ResponseWriter, r *http.Request) {
 // endpoints. The sweep counts as one job against the queue, claimed by
 // the flight leader (so joiners may see ErrBusy; callers retryBusy).
 func (s *Server) advisoryResult(ctx context.Context, key string, f sweep.Filter, so sweep.Options, specs []spec.ChannelSpec, m cpu.Model) (experiments.Result, error) {
-	if res, hit := s.cache.Get(key); hit {
+	if res, hit := s.cacheGet(ctx, key); hit {
 		s.metrics.CacheHits.Add(1)
 		return res, nil
 	}
 	res, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) (experiments.Result, error) {
-		if res, hit := s.cache.Get(key); hit {
+		if res, hit := s.cacheGet(fctx, key); hit {
 			s.metrics.CacheHits.Add(1)
 			return res, nil
 		}
@@ -166,7 +166,7 @@ func (s *Server) advisoryResult(ctx context.Context, key string, f sweep.Filter,
 			// Elapsed stays zero: advisories are pure functions of
 			// (model, bits, seed, calib, maxp).
 		}
-		s.cache.Add(key, res)
+		s.cacheAdd(fctx, key, res)
 		return res, nil
 	})
 	if shared && err == nil {

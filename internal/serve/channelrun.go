@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runctx"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 // ErrBadSpec reports a channel-run request whose spec or options failed
@@ -60,10 +61,11 @@ func retryBusy(ctx context.Context, fn func() (experiments.Result, error)) (expe
 
 // channelRunKey is the cache/singleflight identity of one channel run:
 // the spec's own versioned canonical key plus the message length. The
-// "chan-v2|" prefix keeps the namespace disjoint from the artifact
-// keys' "v1|".
+// key is shared with the persistent store (and through it with
+// leakysweep's -store and the fleet's consistent-hash ring), so it
+// lives in internal/store as the single definition.
 func channelRunKey(cs spec.ChannelSpec, bits int) string {
-	return fmt.Sprintf("%s|bits=%d", cs.CacheKey(), bits)
+	return store.ChannelKey(cs, bits)
 }
 
 // ChannelRun transmits an alternating message of o.Bits bits over the
@@ -108,7 +110,7 @@ func (s *Server) channelResult(ctx context.Context, cs spec.ChannelSpec, bits in
 	cctx, span := obs.Start(ctx, "compute", obs.String("cachekey", key))
 	defer span.End()
 	ctx = cctx
-	if res, hit := s.cache.Get(key); hit {
+	if res, hit := s.cacheGet(ctx, key); hit {
 		s.metrics.CacheHits.Add(1)
 		span.SetAttr("cache", "hit")
 		return res, nil
@@ -119,7 +121,7 @@ func (s *Server) channelResult(ctx context.Context, cs spec.ChannelSpec, bits in
 		if sp := obs.SpanFrom(ctx); sp != nil {
 			fctx = obs.ContextWithSpan(fctx, sp)
 		}
-		if res, hit := s.cache.Get(key); hit {
+		if res, hit := s.cacheGet(fctx, key); hit {
 			s.metrics.CacheHits.Add(1)
 			span.SetAttr("cache", "hit")
 			return res, nil
@@ -134,7 +136,7 @@ func (s *Server) channelResult(ctx context.Context, cs spec.ChannelSpec, bits in
 		if err != nil {
 			return experiments.Result{}, err
 		}
-		s.cache.Add(key, res)
+		s.cacheAdd(fctx, key, res)
 		return res, nil
 	})
 	if shared && err == nil {
@@ -176,13 +178,9 @@ func (s *Server) runChannel(ctx context.Context, cs spec.ChannelSpec, bits int) 
 		s.metrics.Cancellations.Add(1)
 		return experiments.Result{}, err
 	}
-	return experiments.Result{
-		Name:     "channel",
-		Ref:      "ChannelSpec",
-		Desc:     cs.String(),
-		Seed:     cs.Seed,
-		Rendered: tres.String() + "\n",
-		Data:     tres,
-		// Elapsed stays zero: responses are pure functions of (spec, bits).
-	}, nil
+	// store.ChannelResult is the shared Result shape (Elapsed stays
+	// zero: responses are pure functions of (spec, bits)), so the
+	// daemon, leakysweep -store, and fleet workers persist identical
+	// bytes for identical runs.
+	return store.ChannelResult(cs, tres), nil
 }

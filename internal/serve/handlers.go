@@ -45,7 +45,14 @@ import (
 //	                                  body is {"filter": "...", "opts":
 //	                                  {...}, "calib": n, "maxp": n};
 //	                                  NDJSON rows in canonical order
-//	                                  plus a final {"report": ...} line
+//	                                  plus a final {"report": ...} line;
+//	                                  on a fleet coordinator the rows
+//	                                  are scattered across the workers
+//	POST /v1/shards                   fleet-internal: run an explicit
+//	                                  list of expanded specs; body is
+//	                                  {"bits": n, "specs": [{"index":
+//	                                  i, "spec": {...}}]}, response an
+//	                                  NDJSON stream of indexed rows
 //	GET /v1/advisories/{model}        defense ablation rendered as a
 //	                                  security advisory for the model;
 //	                                  ?format=json|text, ?seed=, ?bits=,
@@ -76,6 +83,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/channels", s.handleChannels)
 	mux.HandleFunc("POST /v1/channels/run", s.handleChannelRun)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
+	mux.HandleFunc("POST /v1/shards", s.handleShards)
 	mux.HandleFunc("GET /v1/advisories/{model}", s.handleAdvisory)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
@@ -378,7 +386,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var missingIdx []int
 	for i, a := range arts {
 		keys[i] = o.CacheKey(a.Name)
-		if res, hit := s.cache.Get(keys[i]); hit {
+		if res, hit := s.cacheGet(r.Context(), keys[i]); hit {
 			s.metrics.CacheHits.Add(1)
 			results[i], cached[i] = res, true
 		} else {
@@ -615,7 +623,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(s.cache.Len(), int(s.depth)))
+	fmt.Fprint(w, s.metrics.Render(s.cache.Len(), int(s.depth), s.store.Stats(), s.fleet.Stats()))
 }
 
 // requestOpts merges the server's base options with the request's

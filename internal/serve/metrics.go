@@ -6,7 +6,9 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Metrics holds the daemon's operational counters and timing
@@ -26,6 +28,7 @@ type Metrics struct {
 	Errors        atomic.Uint64 // other 4xx/5xx responses
 	Cancellations atomic.Uint64 // in-flight runs cancelled (abandoned or shutdown)
 	Sweeps        atomic.Uint64 // POST /v1/sweeps requests accepted past validation
+	ShardRequests atomic.Uint64 // POST /v1/shards requests accepted past validation
 	Traces        atomic.Uint64 // traced requests (?trace=1) completed
 	InFlight      atomic.Int64  // artifact runs executing right now
 	Queued        atomic.Int64  // jobs admitted and waiting or running
@@ -69,8 +72,11 @@ func counterRow(v int64) func(*strings.Builder, string) {
 // is the current number of cached results (owned by the cache, not an
 // atomic here); queueCap is the configured job-queue bound, exported so
 // operators can alert on leakyfed_queue_depth / leakyfed_queue_capacity
-// saturation.
-func (m *Metrics) Render(cacheLen, queueCap int) string {
+// saturation. st and fl are snapshots of the persistent store's and
+// fleet coordinator's own counters (both types report zeros for their
+// nil owners, so the families render unconditionally and scrapes stay
+// schema-stable whether or not -cache-dir / -fleet are configured).
+func (m *Metrics) Render(cacheLen, queueCap int, st store.Stats, fl fleet.Stats) string {
 	families := []promFamily{
 		{"leakyfed_requests_total", "HTTP requests accepted, all endpoints.", "counter", counterRow(int64(m.Requests.Load()))},
 		{"leakyfed_cache_hits_total", "Results served from the deterministic result cache.", "counter", counterRow(int64(m.CacheHits.Load()))},
@@ -86,6 +92,19 @@ func (m *Metrics) Render(cacheLen, queueCap int) string {
 		{"leakyfed_queue_depth", "Jobs admitted and waiting or running.", "gauge", counterRow(m.Queued.Load())},
 		{"leakyfed_queue_capacity", "Configured job-queue bound.", "gauge", counterRow(int64(queueCap))},
 		{"leakyfed_cached_results", "Results currently held by the LRU cache.", "gauge", counterRow(int64(cacheLen))},
+		{"leakyfed_shards_total", "POST /v1/shards requests accepted past validation.", "counter", counterRow(int64(m.ShardRequests.Load()))},
+		{"leakyfed_store_hits_total", "Results served from the persistent on-disk store.", "counter", counterRow(int64(st.Hits))},
+		{"leakyfed_store_misses_total", "Store probes that found no (usable) entry.", "counter", counterRow(int64(st.Misses))},
+		{"leakyfed_store_puts_total", "Results persisted into the on-disk store.", "counter", counterRow(int64(st.Puts))},
+		{"leakyfed_store_put_errors_total", "Store writes that failed (persistence degraded, serving unaffected).", "counter", counterRow(int64(st.PutErrors))},
+		{"leakyfed_store_quarantined_total", "Corrupt or alien store entries moved to quarantine.", "counter", counterRow(int64(st.Quarantined))},
+		{"leakyfed_store_bytes", "Bytes currently held by the on-disk store.", "gauge", counterRow(st.Bytes)},
+		{"leakyfed_fleet_scatters_total", "Sweep shards scattered to fleet workers.", "counter", counterRow(int64(fl.Scatters))},
+		{"leakyfed_fleet_merged_rows_total", "Worker rows merged into sweep reports.", "counter", counterRow(int64(fl.MergedRows))},
+		{"leakyfed_fleet_worker_failures_total", "Fleet workers marked dead after a scatter failure.", "counter", counterRow(int64(fl.WorkerFailures))},
+		{"leakyfed_fleet_rehashes_total", "Scatter rounds re-hashed over surviving workers.", "counter", counterRow(int64(fl.Rehashes))},
+		{"leakyfed_fleet_workers", "Configured fleet size (0 when not a coordinator).", "gauge", counterRow(int64(fl.Workers))},
+		{"leakyfed_fleet_live_workers", "Fleet workers not marked dead.", "gauge", counterRow(int64(fl.LiveWorkers))},
 		{"leakyfed_request_seconds", "Wall-clock HTTP request latency.", "histogram", m.RequestSeconds.RenderProm},
 		{"leakyfed_run_seconds", "Duration of each simulation executed on a worker slot.", "histogram", m.RunSeconds.RenderProm},
 		{"leakyfed_queue_wait_seconds", "Time a simulation waited for a free worker slot.", "histogram", m.QueueWaitSeconds.RenderProm},

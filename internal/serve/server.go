@@ -27,8 +27,10 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/runctx"
+	"repro/internal/store"
 )
 
 // Errors the serving layer maps to HTTP statuses.
@@ -82,6 +84,18 @@ type Config struct {
 	// TraceBuffer bounds how many completed request traces (?trace=1)
 	// GET /v1/traces retains, oldest evicted first. <= 0 means 32.
 	TraceBuffer int
+	// Store is the disk-backed result store layered beneath the LRU:
+	// reads fall through LRU → store → simulator, and every simulated
+	// result is written through to both, so a restarted daemon serves
+	// byte-identical responses without re-simulating. nil means no
+	// persistence (the historical in-memory-only behavior).
+	Store *store.Store
+	// Fleet, when non-nil, makes this daemon a sweep coordinator:
+	// POST /v1/sweeps consistent-hashes the shard's spec cache keys
+	// across the fleet's workers and merges their rows instead of
+	// simulating locally. Single-artifact and single-channel endpoints
+	// still run locally.
+	Fleet *fleet.Coordinator
 }
 
 // Server serves registry artifacts over HTTP with caching, request
@@ -103,6 +117,8 @@ type Server struct {
 	close     context.CancelFunc
 
 	cache   *resultCache
+	store   *store.Store       // optional persistent tier; nil-safe
+	fleet   *fleet.Coordinator // optional sweep scatter/merge; nil means local sweeps
 	flights *flightGroup
 	sem     chan struct{} // simulation slots; acquired only while running
 	metrics Metrics
@@ -160,6 +176,8 @@ func NewServer(cfg Config) *Server {
 		lifecycle:       lifecycle,
 		close:           cancel,
 		cache:           newResultCache(size),
+		store:           cfg.Store,
+		fleet:           cfg.Fleet,
 		flights:         newFlightGroup(lifecycle, cfg.CancelAbandoned),
 		sem:             make(chan struct{}, workers),
 		logger:          logger,
@@ -179,6 +197,40 @@ func (s *Server) Close() { s.close() }
 // Metrics returns the server's live counters.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
 
+// Store returns the persistent result store, or nil when the server
+// runs in-memory only.
+func (s *Server) Store() *store.Store { return s.store }
+
+// cacheGet is the layered read path every probe goes through: the LRU
+// first, then the persistent store (a store hit is promoted into the
+// LRU, so one disk read serves all later requests from memory). Both
+// tiers hold results under the same canonical keys, and both count —
+// the caller attributes the serve to CacheHits, the store attributes
+// the disk hit/miss to its own counters.
+func (s *Server) cacheGet(ctx context.Context, key string) (experiments.Result, bool) {
+	if res, hit := s.cache.Get(key); hit {
+		return res, true
+	}
+	if s.store == nil {
+		return experiments.Result{}, false
+	}
+	res, hit := s.store.Get(ctx, key)
+	if hit {
+		s.cache.Add(key, res)
+	}
+	return res, hit
+}
+
+// cacheAdd is the write-through path: every simulated result lands in
+// the LRU and (when configured) the store, so the next process serves
+// it without simulating. Store write failures degrade silently — they
+// are counted in store_put_errors_total, and persistence is an
+// optimization, never a correctness dependency.
+func (s *Server) cacheAdd(ctx context.Context, key string, res experiments.Result) {
+	s.cache.Add(key, res)
+	s.store.Put(ctx, key, res)
+}
+
 // Artifact returns the result of running the named artifact with the
 // given options (normalized first), preferring the cache and collapsing
 // concurrent identical requests into one simulation. The returned
@@ -196,7 +248,7 @@ func (s *Server) Artifact(ctx context.Context, name string, o experiments.Opts) 
 	}
 	o = o.Normalize()
 	key := o.CacheKey(a.Name)
-	if res, hit := s.cache.Get(key); hit {
+	if res, hit := s.cacheGet(ctx, key); hit {
 		s.metrics.CacheHits.Add(1)
 		return res, nil
 	}
@@ -225,7 +277,7 @@ func (s *Server) compute(ctx context.Context, key string, a experiments.Artifact
 		// A racing flight may have landed between the caller's cache
 		// probe and taking the flight lead; its result is already cached
 		// and this serve counts as a hit like any other.
-		if res, hit := s.cache.Get(key); hit {
+		if res, hit := s.cacheGet(fctx, key); hit {
 			s.metrics.CacheHits.Add(1)
 			span.SetAttr("cache", "hit")
 			return res, nil
@@ -240,7 +292,7 @@ func (s *Server) compute(ctx context.Context, key string, a experiments.Artifact
 		if err != nil {
 			return experiments.Result{}, err
 		}
-		s.cache.Add(key, res)
+		s.cacheAdd(fctx, key, res)
 		return res, nil
 	})
 	if shared && err == nil {

@@ -88,24 +88,21 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	// CacheHits is counted when a probed result is actually served (in
 	// the run callback), not here: a sweep the queue then rejects with
 	// 429 served nothing and must not inflate the hit counter.
-	probed := make(map[string]channel.Result, len(specs))
-	missing := 0
-	for _, cs := range specs {
-		key := channelRunKey(cs, so.Bits)
-		if res, hit := s.cache.Get(key); hit {
-			if tres, ok := res.Data.(channel.Result); ok {
-				probed[key] = tres
-				continue
+	//
+	// A fleet coordinator skips both probe and admission: its specs run
+	// on the workers' queues, not the local one, so a coordinator never
+	// 429s a sweep for local queue pressure.
+	var probed map[string]channel.Result
+	if s.fleet == nil {
+		var missing int
+		probed, missing = s.probeSpecs(r.Context(), specs, so.Bits)
+		if missing > 0 {
+			if !s.admit(1) {
+				s.fail(w, http.StatusTooManyRequests, fmt.Errorf("%d specs need simulation, queue full", missing))
+				return
 			}
+			defer s.release(1)
 		}
-		missing++
-	}
-	if missing > 0 {
-		if !s.admit(1) {
-			s.fail(w, http.StatusTooManyRequests, fmt.Errorf("%d specs need simulation, queue full", missing))
-			return
-		}
-		defer s.release(1)
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -127,7 +124,48 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 			obs.String("filter", req.Filter))
 		defer finish()
 	}
-	run := func(ctx context.Context, cs spec.ChannelSpec, bits int) (channel.Result, error) {
+	emit := func(row sweep.Row) {
+		sw.writeLine(row)
+		sw.flush()
+	}
+	var report sweep.Report
+	if s.fleet != nil {
+		report = s.fleetSweep(runCtx, f, so, specs, emit)
+	} else {
+		report = sweep.RunSpecs(runCtx, f, so, specs, s.probedRun(probed), emit)
+	}
+	sw.writeLine(sweepReportLine{Report: report})
+}
+
+// probeSpecs probes the layered cache (LRU, then store) for every spec
+// in the shard at the given message length, returning the snapshot of
+// hits keyed by channel-run key and the count of specs that would need
+// a simulation. Store hits are promoted into the LRU by the probe, so
+// a restarted daemon's first sweep over a warm -cache-dir reads each
+// result from disk exactly once and simulates nothing.
+func (s *Server) probeSpecs(ctx context.Context, specs []spec.ChannelSpec, bits int) (map[string]channel.Result, int) {
+	probed := make(map[string]channel.Result, len(specs))
+	missing := 0
+	for _, cs := range specs {
+		key := channelRunKey(cs, bits)
+		if res, hit := s.cacheGet(ctx, key); hit {
+			if tres, ok := res.Data.(channel.Result); ok {
+				probed[key] = tres
+				continue
+			}
+		}
+		missing++
+	}
+	return probed, missing
+}
+
+// probedRun is the sweep RunFunc shared by /v1/sweeps, /v1/shards, and
+// Precompute: probed hits are served from the snapshot (counted as
+// cache hits only now, when they are actually served), everything else
+// goes through the cached channel path without per-spec admission —
+// the caller already made the shard's one admission decision.
+func (s *Server) probedRun(probed map[string]channel.Result) sweep.RunFunc {
+	return func(ctx context.Context, cs spec.ChannelSpec, bits int) (channel.Result, error) {
 		if tres, ok := probed[channelRunKey(cs, bits)]; ok {
 			s.metrics.CacheHits.Add(1)
 			_, hsp := obs.Start(ctx, "cache.hit", obs.String("cachekey", channelRunKey(cs, bits)))
@@ -146,9 +184,4 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		}
 		return tres, nil
 	}
-	report := sweep.RunSpecs(runCtx, f, so, specs, run, func(row sweep.Row) {
-		sw.writeLine(row)
-		sw.flush()
-	})
-	sw.writeLine(sweepReportLine{Report: report})
 }

@@ -1,0 +1,422 @@
+// Package store is the persistence layer beneath the serving daemon's
+// in-memory result cache: a disk-backed, content-addressed store of
+// experiment results, one file per cache key. Every result in this
+// repository is a pure function of its canonical key (Opts.CacheKey
+// for artifacts, ChannelSpec.CacheKey at chan-v2 for channel runs), so
+// entries never expire and never need invalidation — a result written
+// once is correct forever, and a daemon restarted over a warm store
+// serves byte-identical responses without re-running a single
+// simulation.
+//
+// Layout: the store directory holds one <sha256(key)>.json file per
+// key, each a versioned envelope carrying the key it answers for and
+// an integrity checksum over the result payload. Writes are atomic
+// (temp file + rename), so a crash mid-put leaves either the old entry
+// or a temp file the store ignores — never a half-written entry served
+// as truth. Reads verify version, key, and checksum; anything corrupt,
+// truncated, alien, or from a different format version is quarantined
+// into the quarantine/ subdirectory and reported as a miss, never an
+// error: the store degrades to the simulator, it does not take the
+// daemon down.
+//
+// Byte-identity across the JSON boundary: a Result's Data field is an
+// `any` holding a concrete type in a live process. Channel-run results
+// (the sweep engine's currency) are rehydrated back into their concrete
+// channel.Result so type assertions keep working after a restart; every
+// other Data payload is rehydrated as json.RawMessage, which re-marshals
+// to exactly the bytes the live struct produced — so HTTP responses
+// served from disk are byte-identical to the pre-restart ones.
+package store
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// Version is the on-disk envelope format version. An entry written by
+// a different version is quarantined and treated as a miss, so a
+// format change can never serve stale bytes as current ones.
+const Version = 1
+
+// quarantineDir is the subdirectory unreadable entries are moved into,
+// preserved for post-mortems instead of deleted.
+const quarantineDir = "quarantine"
+
+// Data rehydration kinds recorded in the envelope (see Get).
+const (
+	kindNone    = "none"    // Result.Data was nil
+	kindChannel = "channel" // Result.Data was a channel.Result
+	kindJSON    = "json"    // any other Data payload, rehydrated raw
+)
+
+// envelope is the on-disk entry format: version, the cache key this
+// entry answers for (alien files — hash collisions, copied caches,
+// stray writes — are detected by mismatch), the Data rehydration kind,
+// a sha256 checksum over the result bytes, and the result itself as
+// compact JSON.
+type envelope struct {
+	V      int             `json:"v"`
+	Key    string          `json:"key"`
+	Kind   string          `json:"kind"`
+	Sum    string          `json:"sum"`
+	Result json.RawMessage `json:"result"`
+}
+
+// storedResult mirrors experiments.Result with Data kept raw, so a
+// reloaded result re-marshals (compact or indented) to exactly the
+// bytes the original concrete struct produced.
+type storedResult struct {
+	Name     string          `json:"name"`
+	Ref      string          `json:"ref"`
+	Desc     string          `json:"desc"`
+	Seed     uint64          `json:"seed"`
+	Elapsed  time.Duration   `json:"elapsed_ns"`
+	Rendered string          `json:"rendered"`
+	Data     json.RawMessage `json:"data,omitempty"`
+	Err      string          `json:"err,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the store's counters, rendered
+// into /metrics by the serving layer.
+type Stats struct {
+	Hits        uint64 // Get calls answered from disk
+	Misses      uint64 // Get calls with no (valid) entry
+	Puts        uint64 // entries written
+	PutErrors   uint64 // writes that failed (full/read-only disk); degraded, not fatal
+	Quarantined uint64 // entries moved aside as corrupt/alien/mismatched
+	Bytes       int64  // bytes currently held by valid-looking entries
+}
+
+// Store is a disk-backed content-addressed result store. All methods
+// are safe for concurrent use; a nil *Store is a valid no-op store
+// (every Get misses, every Put is dropped), so callers can thread an
+// optional store without nil checks.
+type Store struct {
+	dir string
+
+	hits, misses, puts, putErrors, quarantined atomic.Uint64
+	bytes                                      atomic.Int64
+}
+
+// Open returns a Store rooted at dir, creating it if needed. The only
+// error is failure to create the directory; a store whose directory
+// later becomes unwritable keeps serving Gets and degrades Puts to
+// counted no-ops.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	s := &Store{dir: dir}
+	s.bytes.Store(s.scanBytes())
+	return s, nil
+}
+
+// Dir returns the store's root directory ("" on a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Stats returns a snapshot of the store's counters. A nil store
+// reports zeros.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		PutErrors:   s.putErrors.Load(),
+		Quarantined: s.quarantined.Load(),
+		Bytes:       s.bytes.Load(),
+	}
+}
+
+// Len counts the entries currently on disk (quarantined and temp files
+// excluded). It scans the directory, so it is a test/operator helper,
+// not a hot-path call.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for range s.entryNames() {
+		n++
+	}
+	return n
+}
+
+// path maps a cache key to its entry file: content addressing by
+// sha256 of the key, so arbitrary key bytes (pipes, spaces, globs)
+// never meet the filesystem.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the stored result for key. Any defect in the entry —
+// unreadable, truncated, bad version, checksum mismatch, alien key,
+// undecodable payload — quarantines the file and reports a miss;
+// corruption costs a re-simulation, never an error or a wrong byte.
+func (s *Store) Get(ctx context.Context, key string) (experiments.Result, bool) {
+	if s == nil {
+		return experiments.Result{}, false
+	}
+	_, span := obs.Start(ctx, "store.get", obs.String("key", key))
+	defer span.End()
+	path := s.path(key)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		span.SetAttr("store", "miss")
+		return experiments.Result{}, false
+	}
+	res, err := decodeEntry(blob, key)
+	if err != nil {
+		s.quarantine(path, len(blob))
+		s.misses.Add(1)
+		span.SetAttr("store", "quarantined")
+		span.SetAttr("err", err.Error())
+		return experiments.Result{}, false
+	}
+	s.hits.Add(1)
+	span.SetAttr("store", "hit")
+	return res, true
+}
+
+// decodeEntry verifies one envelope against the key it must answer for
+// and rehydrates the result.
+func decodeEntry(blob []byte, key string) (experiments.Result, error) {
+	var env envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return experiments.Result{}, fmt.Errorf("store: undecodable entry: %v", err)
+	}
+	if env.V != Version {
+		return experiments.Result{}, fmt.Errorf("store: version %d entry (want %d)", env.V, Version)
+	}
+	if env.Key != key {
+		return experiments.Result{}, fmt.Errorf("store: alien entry (holds key %q)", env.Key)
+	}
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		return experiments.Result{}, fmt.Errorf("store: checksum mismatch")
+	}
+	var sr storedResult
+	if err := json.Unmarshal(env.Result, &sr); err != nil {
+		return experiments.Result{}, fmt.Errorf("store: undecodable result: %v", err)
+	}
+	res := experiments.Result{
+		Name: sr.Name, Ref: sr.Ref, Desc: sr.Desc, Seed: sr.Seed,
+		Elapsed: sr.Elapsed, Rendered: sr.Rendered, Err: sr.Err,
+	}
+	switch env.Kind {
+	case kindNone:
+		// Data stays nil.
+	case kindChannel:
+		var tres channel.Result
+		if err := json.Unmarshal(sr.Data, &tres); err != nil {
+			return experiments.Result{}, fmt.Errorf("store: undecodable channel result: %v", err)
+		}
+		res.Data = tres
+	case kindJSON:
+		if len(sr.Data) == 0 {
+			return experiments.Result{}, fmt.Errorf("store: json entry with no data")
+		}
+		res.Data = sr.Data
+	default:
+		return experiments.Result{}, fmt.Errorf("store: unknown data kind %q", env.Kind)
+	}
+	return res, nil
+}
+
+// Put writes res under key atomically (temp file + rename in the same
+// directory). A failed write — read-only or full disk, vanished
+// directory — is counted and swallowed: persistence is an optimization
+// over the simulator, never a correctness dependency. Results with Err
+// set are not persisted; an incomplete run is not a fact worth keeping.
+func (s *Store) Put(ctx context.Context, key string, res experiments.Result) error {
+	if s == nil {
+		return nil
+	}
+	_, span := obs.Start(ctx, "store.put", obs.String("key", key))
+	defer span.End()
+	if res.Err != "" {
+		span.SetAttr("store", "skipped")
+		return nil
+	}
+	blob, err := encodeEntry(key, res)
+	if err != nil {
+		s.putErrors.Add(1)
+		span.SetAttr("err", err.Error())
+		return err
+	}
+	if err := s.writeAtomic(s.path(key), blob); err != nil {
+		s.putErrors.Add(1)
+		span.SetAttr("err", err.Error())
+		return err
+	}
+	s.puts.Add(1)
+	span.SetAttr("store", "put")
+	span.SetAttr("bytes", fmt.Sprintf("%d", len(blob)))
+	return nil
+}
+
+// encodeEntry builds the on-disk envelope for (key, res).
+func encodeEntry(key string, res experiments.Result) ([]byte, error) {
+	kind := kindNone
+	switch res.Data.(type) {
+	case nil:
+	case channel.Result:
+		kind = kindChannel
+	default:
+		kind = kindJSON
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("store: unencodable result: %v", err)
+	}
+	sum := sha256.Sum256(raw)
+	return json.Marshal(envelope{
+		V: Version, Key: key, Kind: kind,
+		Sum: hex.EncodeToString(sum[:]), Result: raw,
+	})
+}
+
+// writeAtomic lands blob at path via a same-directory temp file and
+// rename, so readers only ever observe absent or complete entries.
+func (s *Store) writeAtomic(path string, blob []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	var prev int64
+	if fi, err := os.Stat(path); err == nil {
+		prev = fi.Size()
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.bytes.Add(int64(len(blob)) - prev)
+	return nil
+}
+
+// quarantine moves a defective entry into the quarantine subdirectory
+// (best effort — a read-only directory falls back to leaving the file,
+// which keeps failing closed as a miss).
+func (s *Store) quarantine(path string, size int) {
+	s.quarantined.Add(1)
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err != nil {
+		return
+	}
+	s.bytes.Add(int64(-size))
+}
+
+// entryNames lists the store's entry files (excluding temp files and
+// the quarantine subdirectory).
+func (s *Store) entryNames() []string {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || name[0] == '.' || filepath.Ext(name) != ".json" {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// scanBytes sums the sizes of the entries present at Open, seeding the
+// leakyfed_store_bytes gauge with what a previous process left behind.
+func (s *Store) scanBytes() int64 {
+	var total int64
+	for _, name := range s.entryNames() {
+		if fi, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// ChannelKey is the store/cache identity of one channel transmission:
+// the spec's versioned canonical key plus the message length. It is
+// THE key contract between the daemon's LRU, this store, the sweep
+// CLI, and the fleet's consistent hashing — every layer addresses a
+// transmission by this exact string.
+func ChannelKey(cs spec.ChannelSpec, bits int) string {
+	return fmt.Sprintf("%s|bits=%d", cs.CacheKey(), bits)
+}
+
+// ChannelResult wraps one transmission as the experiments.Result every
+// serving and storage layer exchanges. The daemon's channel endpoint
+// and the CLI's store-backed sweeps both build results through this
+// one constructor, so bytes written by one are served verbatim by the
+// other.
+func ChannelResult(cs spec.ChannelSpec, tres channel.Result) experiments.Result {
+	return experiments.Result{
+		Name:     "channel",
+		Ref:      "ChannelSpec",
+		Desc:     cs.String(),
+		Seed:     cs.Seed,
+		Rendered: tres.String() + "\n",
+		Data:     tres,
+		// Elapsed stays zero: results are pure functions of (spec, bits).
+	}
+}
+
+// SweepRunFunc returns a sweep runner layered over st: each spec is
+// served from the store when present, and simulated through the
+// memoized default runner (then written back) otherwise. It is how
+// cmd/leakysweep -store warms — and is warmed by — the same on-disk
+// store the daemon uses.
+func SweepRunFunc(st *Store) sweep.RunFunc {
+	return func(ctx context.Context, cs spec.ChannelSpec, bits int) (channel.Result, error) {
+		key := ChannelKey(cs, bits)
+		if res, ok := st.Get(ctx, key); ok {
+			if tres, ok := res.Data.(channel.Result); ok {
+				return tres, nil
+			}
+			// A non-channel payload under a channel key is an alien write;
+			// fall through to simulate (and overwrite it with the truth).
+		}
+		tres, err := sweep.Memoized(ctx, cs, bits)
+		if err != nil {
+			return tres, err
+		}
+		st.Put(ctx, key, ChannelResult(cs, tres))
+		return tres, nil
+	}
+}

@@ -31,11 +31,13 @@ import (
 	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/fingerprint"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/runctx"
 	"repro/internal/serve"
 	"repro/internal/spec"
 	"repro/internal/spectre"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/ucode"
 	"repro/internal/victim"
@@ -187,6 +189,57 @@ func Sweep(f SweepFilter, o SweepOptions) (SweepReport, error) {
 // uncancelled sweep's.
 func SweepCtx(ctx context.Context, f SweepFilter, o SweepOptions, emit func(SweepRow)) (SweepReport, error) {
 	return sweep.Run(ctx, f, o, nil, emit)
+}
+
+// SweepRunFunc executes one scenario of a sweep; nil means the default
+// memoized in-process runner. StoreSweepRunFunc layers a persistent
+// store on top of it.
+type SweepRunFunc = sweep.RunFunc
+
+// SweepRunCtx is SweepCtx with an explicit per-spec runner, for sweeps
+// that read and warm a persistent ResultStore (or any other caching
+// layer). run nil is exactly SweepCtx.
+func SweepRunCtx(ctx context.Context, f SweepFilter, o SweepOptions, run SweepRunFunc, emit func(SweepRow)) (SweepReport, error) {
+	return sweep.Run(ctx, f, o, run, emit)
+}
+
+// ResultStore is the disk-backed content-addressed result store the
+// daemon persists into under -cache-dir: one file per canonical cache
+// key, atomic writes, versioned checksummed envelopes, and corrupt
+// entries quarantined into a miss rather than an error. A nil
+// *ResultStore is a valid no-op store.
+type ResultStore = store.Store
+
+// ResultStoreStats is a snapshot of a store's hit/miss/put counters and
+// its on-disk size.
+type ResultStoreStats = store.Stats
+
+// OpenResultStore opens (creating if needed) the store rooted at dir.
+// Share one dir between leakyfed (-cache-dir), leakysweep (-store), and
+// precompute runs: every result is a pure function of its key, so
+// concurrent writers at worst duplicate a byte-identical file.
+func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// StoreSweepRunFunc returns a sweep runner layered on st: read-through
+// (a stored spec costs one disk read, no simulation) and write-through
+// (every simulated spec persists for the next process). The rows are
+// byte-identical to the default runner's.
+func StoreSweepRunFunc(st *ResultStore) SweepRunFunc { return store.SweepRunFunc(st) }
+
+// FleetCoordinator scatters sweep shards across a fleet of leakyfed
+// worker nodes by consistent-hashing spec cache keys, and merges the
+// rows back into reports byte-identical to a single-node run; a dead
+// worker's shard re-hashes to the survivors. Set it on ServeConfig.Fleet
+// to make a daemon a coordinator.
+type FleetCoordinator = fleet.Coordinator
+
+// FleetStats is a snapshot of a coordinator's scatter/merge counters.
+type FleetStats = fleet.Stats
+
+// NewFleetCoordinator builds a coordinator over the workers' base URLs
+// (http[s]://host[:port]); client nil means a default http.Client.
+func NewFleetCoordinator(workers []string, client *http.Client) (*FleetCoordinator, error) {
+	return fleet.New(workers, client)
 }
 
 // mechanismFor maps the legacy constructor kind onto a spec mechanism.

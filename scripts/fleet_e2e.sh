@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# fleet_e2e.sh — end-to-end test of the persistent store + sweep fleet.
+#
+# Boots a 1-coordinator + 2-worker leakyfed fleet on localhost (each
+# worker with its own -cache-dir), sweeps a shard through the
+# coordinator, then kills and restarts every node over the same cache
+# dirs and re-runs the sweep. Asserts, via /metrics counters, that the
+# warm re-run performed zero simulations (every row came off the
+# workers' disks) and that the two responses are byte-identical.
+#
+# Usage: scripts/fleet_e2e.sh [port-base]   (default 18080)
+set -euo pipefail
+
+BASE=${1:-18080}
+COORD_PORT=$BASE
+W1_PORT=$((BASE + 1))
+W2_PORT=$((BASE + 2))
+FILTER='mech=eviction,thread=nonmt,sink=timing,sgx=false'
+BODY=$(printf '{"filter": "%s", "opts": {"bits": 16, "seed": 3}}' "$FILTER")
+
+workdir=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/leakyfed" ./cmd/leakyfed
+
+wait_healthy() { # port
+    for _ in $(seq 1 100); do
+        curl -fs "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "node on port $1 never became healthy" >&2
+    return 1
+}
+
+metric() { # port name -> value
+    curl -fs "http://127.0.0.1:$1/metrics" | awk -v m="$2" '$1 == m {print $2}'
+}
+
+boot_fleet() {
+    "$workdir/leakyfed" -addr "127.0.0.1:$W1_PORT" -cache-dir "$workdir/w1" -workers 2 &
+    "$workdir/leakyfed" -addr "127.0.0.1:$W2_PORT" -cache-dir "$workdir/w2" -workers 2 &
+    "$workdir/leakyfed" -addr "127.0.0.1:$COORD_PORT" \
+        -fleet "http://127.0.0.1:$W1_PORT,http://127.0.0.1:$W2_PORT" &
+    wait_healthy $W1_PORT
+    wait_healthy $W2_PORT
+    wait_healthy $COORD_PORT
+}
+
+sweep() { # outfile
+    curl -fs -X POST "http://127.0.0.1:$COORD_PORT/v1/sweeps" \
+        -H 'Content-Type: application/json' -d "$BODY" -o "$1"
+}
+
+echo "== boot fleet (cold stores)"
+boot_fleet
+
+echo "== cold sweep through the coordinator"
+sweep "$workdir/cold.ndjson"
+grep -q '"report"' "$workdir/cold.ndjson" || { echo "no report line in cold sweep" >&2; exit 1; }
+
+cold_misses=$(( $(metric $W1_PORT leakyfed_cache_misses_total) + $(metric $W2_PORT leakyfed_cache_misses_total) ))
+[ "$cold_misses" -gt 0 ] || { echo "cold sweep simulated nothing; e2e proves nothing" >&2; exit 1; }
+scatters=$(metric $COORD_PORT leakyfed_fleet_scatters_total)
+[ "$scatters" -gt 0 ] || { echo "coordinator scattered no shards" >&2; exit 1; }
+echo "   cold: $cold_misses simulations across workers, $scatters shards scattered"
+
+echo "== lint a live coordinator scrape (fleet + store families)"
+curl -fs "http://127.0.0.1:$COORD_PORT/metrics" | go run ./cmd/promlint
+
+echo "== kill every node"
+kill $(jobs -p) 2>/dev/null || true
+wait 2>/dev/null || true
+
+echo "== restart the fleet over the same cache dirs"
+boot_fleet
+
+echo "== warm sweep after restart"
+sweep "$workdir/warm.ndjson"
+cmp "$workdir/cold.ndjson" "$workdir/warm.ndjson" || {
+    echo "warm sweep is not byte-identical to the cold one" >&2; exit 1
+}
+
+warm_misses=$(( $(metric $W1_PORT leakyfed_cache_misses_total) + $(metric $W2_PORT leakyfed_cache_misses_total) ))
+[ "$warm_misses" -eq 0 ] || { echo "restarted fleet simulated $warm_misses specs, want 0" >&2; exit 1; }
+store_hits=$(( $(metric $W1_PORT leakyfed_store_hits_total) + $(metric $W2_PORT leakyfed_store_hits_total) ))
+[ "$store_hits" -gt 0 ] || { echo "restarted workers served nothing from their stores" >&2; exit 1; }
+merged=$(metric $COORD_PORT leakyfed_fleet_merged_rows_total)
+[ "$merged" -gt 0 ] || { echo "restarted coordinator merged no rows" >&2; exit 1; }
+
+echo "PASS: warm re-run byte-identical, 0 simulations, $store_hits store hits, $merged rows merged"
