@@ -31,7 +31,11 @@
 //
 // Ctrl-C stops the sweep gracefully: in-flight transmissions unwind at
 // their next checkpoint, the partial report (completed rows intact,
-// the rest marked) still prints, and the exit status is 1.
+// the rest marked) still prints, and the exit status is 1. Exactly one
+// report prints no matter when the signal lands: the handler stays
+// registered through the render, so a late or repeated SIGINT cannot
+// kill the process mid-report, and an interrupt that arrives after the
+// last spec completed still exits 1.
 package main
 
 import (
@@ -123,6 +127,12 @@ func main() {
 		run = leaky.StoreSweepRunFunc(st)
 	}
 	report, err := leaky.SweepRunCtx(ctx, f, o, run, emit)
+	// Latch the interrupt before rendering anything: a SIGINT that lands
+	// after the last spec finishes (or during the render itself) must
+	// still turn into exit status 1, and the NotifyContext registration
+	// stays in place until exit so a second SIGINT cannot kill the
+	// process halfway through the single report below.
+	interrupted := ctx.Err() != nil
 	if tr != nil {
 		tr.Finish()
 		if werr := writeTrace(*traceOut, tr); werr != nil {
@@ -155,6 +165,9 @@ func main() {
 		} else {
 			fmt.Print(adv.Render())
 		}
+		if interrupted {
+			exitInterrupted()
+		}
 		return
 	}
 	if *jsonOut {
@@ -172,6 +185,18 @@ func main() {
 			report.Specs-report.Completed, report.Specs)
 		os.Exit(1)
 	}
+	if interrupted {
+		exitInterrupted()
+	}
+}
+
+// exitInterrupted reports an interrupt that arrived too late to cancel
+// any work — after the last spec completed, possibly mid-render. The
+// report already printed is complete, but the run was still interrupted
+// and scripts must see a failure status.
+func exitInterrupted() {
+	fmt.Fprintln(os.Stderr, "leakysweep: interrupted (report is complete)")
+	os.Exit(1)
 }
 
 // writeTrace exports the finished trace as Chrome trace_event JSON.

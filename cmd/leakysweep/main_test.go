@@ -1,11 +1,18 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"errors"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	leaky "repro"
 )
@@ -58,6 +65,63 @@ func TestTraceOutputIsValidChromeTrace(t *testing.T) {
 		if !strings.Contains(string(blob), want) {
 			t.Errorf("-trace output missing %q span", want)
 		}
+	}
+}
+
+// TestSIGINTPrintsOneReportAndExitsNonzero drives a real leakysweep
+// process: it interrupts a running sweep (twice, back to back — the
+// second signal lands while the first is being handled, exactly the
+// render-time window the handler must survive) and requires the
+// contract the package doc promises: exactly one report on stdout, a
+// cancellation notice on stderr, and exit status 1. Before the fix, a
+// SIGINT landing after the last spec completed exited 0, and a repeated
+// SIGINT could kill the process mid-render.
+func TestSIGINTPrintsOneReportAndExitsNonzero(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal semantics required")
+	}
+	bin := filepath.Join(t.TempDir(), "leakysweep")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building leakysweep: %v\n%s", err, out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	// -progress reports each completed spec on stderr; the first line is
+	// the deterministic "sweep is mid-flight" cue to interrupt on.
+	cmd := exec.CommandContext(ctx, bin, "-progress", "-maxp", "2000", "-workers", "2")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(stderrPipe)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("no progress line before EOF: %v", err)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(br)
+	err = cmd.Wait()
+
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want exit status 1\nstderr tail:\n%s", err, rest)
+	}
+	if got := strings.Count(stdout.String(), "sweep: filter="); got != 1 {
+		t.Fatalf("%d reports printed, want exactly 1:\n%s", got, stdout.String())
+	}
+	stderrTail := string(rest)
+	if !strings.Contains(stderrTail, "cancelled with") && !strings.Contains(stderrTail, "interrupted") {
+		t.Errorf("stderr does not explain the failure status:\n%s", stderrTail)
 	}
 }
 

@@ -1,0 +1,43 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/clonecheck"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// TestCloneChannelSharesNoMutableState verifies, by reflection over the
+// full object graphs, that every CloneChannel implementation copies all
+// mutable state. Block layouts and flattened instruction slices are
+// immutable after construction and deliberately shared; everything else
+// aliased between original and clone would corrupt calibration replay.
+func TestCloneChannelSharesNoMutableState(t *testing.T) {
+	model := cpu.Gold6226()
+	allow := clonecheck.AllowType(isa.Inst{}, isa.Block{})
+
+	channels := []struct {
+		name string
+		ch   channel.BitChannel
+	}{
+		{"NonMT eviction", NewNonMT(DefaultNonMT(model, Eviction, false))},
+		{"NonMT misalignment stealthy", NewNonMT(DefaultNonMT(model, Misalignment, true))},
+		{"SlowSwitch", NewSlowSwitch(DefaultSlowSwitch(model))},
+		{"MT eviction", NewMT(DefaultMT(model, Eviction))},
+		{"Power eviction", NewPower(DefaultPower(model, Eviction))},
+	}
+	for _, tc := range channels {
+		t.Run(tc.name, func(t *testing.T) {
+			// Exercise the channel so lazily-grown state exists before the
+			// snapshot, exactly as the calibration preamble does.
+			tc.ch.SendBit('1')
+			tc.ch.SendBit('0')
+			clone := tc.ch.(channel.Cloneable).CloneChannel()
+			if shared := clonecheck.Shared(tc.ch, clone, allow); len(shared) != 0 {
+				t.Fatalf("CloneChannel shares mutable state:\n%v", shared)
+			}
+		})
+	}
+}

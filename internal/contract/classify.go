@@ -1,0 +1,79 @@
+package contract
+
+// Mechanism labels which known channel family a divergence belongs to,
+// in the vocabulary of the ChannelSpec scenario space. A counterexample
+// outside the known families is Unknown — a candidate new mechanism.
+type Mechanism string
+
+const (
+	// Misalignment is the LSD family: lock state or LSD-delivered
+	// micro-op counts diverge (paper Sections IV-G, V-B).
+	Misalignment Mechanism = "misalignment"
+	// SlowSwitch is the decode-switch family: switch events, their
+	// cost, switch-buffer state, or LCP predecode stalls diverge
+	// (Section IV-H, V-E).
+	SlowSwitch Mechanism = "slowswitch"
+	// Eviction is the DSB/i-cache occupancy family: delivery-path
+	// micro-op counts or fill/evict/miss activity diverge
+	// (Sections IV-F, V-A).
+	Eviction Mechanism = "eviction"
+	// BPU is the branch-predictor family: only mispredict counts
+	// diverge. The predictor's PHT/BTB/GHR persist across protocol
+	// phases like any other frontend structure, so secret-trained
+	// predictor state is a real (if out-of-paper) leak the fuzzer can
+	// surface; classifying it keeps such counterexamples from masking
+	// genuinely novel ones.
+	BPU Mechanism = "bpu"
+	// Unknown is a divergence in timing or energy alone, with no known
+	// structure implicated.
+	Unknown Mechanism = "unknown"
+)
+
+// families groups observables by mechanism, in tie-break priority
+// order: LSD evidence is the most specific (its divergences always drag
+// complementary DSB counts along), switch evidence next (layout changes
+// also perturb fill patterns), occupancy last.
+var families = []struct {
+	mech   Mechanism
+	fields map[string]bool
+}{
+	{Misalignment, map[string]bool{"uops_lsd": true, "lsd_locked": true}},
+	{SlowSwitch, map[string]bool{
+		"switches": true, "switch_cycles": true, "lcp_stall_cycles": true,
+		"sw_hits": true, "sw_conflicts": true, "sw_inserts": true,
+	}},
+	{Eviction, map[string]bool{
+		"uops_dsb": true, "uops_mite": true, "dsb_lines": true, "l1i_misses": true,
+	}},
+	// Last on purpose: trained-predictor divergences ride along with
+	// every eviction-style pair (the warmed arm predicts the probe's
+	// first traversal), so BPU only wins when mispredicts diverge in
+	// strictly more windows than any structural family.
+	{BPU, map[string]bool{"mispredicts": true}},
+}
+
+// Classify attributes a leak between two probe traces to a mechanism:
+// the family whose observables diverge in the most windows, ties going
+// to the more specific family. Traces that diverge only in timing,
+// energy, stalls, or branch prediction classify as Unknown.
+func Classify(a, b Trace) Mechanism {
+	n := min(len(a), len(b))
+	counts := make([]int, len(families))
+	for i := 0; i < n; i++ {
+		for fi, fam := range families {
+			for _, f := range fields {
+				if fam.fields[f.name] && f.get(a[i]) != f.get(b[i]) {
+					counts[fi]++
+					break
+				}
+			}
+		}
+	}
+	best, bestCount := Unknown, 0
+	for fi, fam := range families {
+		if counts[fi] > bestCount {
+			best, bestCount = fam.mech, counts[fi]
+		}
+	}
+	return best
+}

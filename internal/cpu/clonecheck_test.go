@@ -1,0 +1,95 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/clonecheck"
+	"repro/internal/isa"
+)
+
+// allowShared lists the data that is immutable after construction and
+// deliberately shared between a core and its clone: decoded instruction
+// slices and block layouts.
+func allowShared() clonecheck.Option {
+	return clonecheck.AllowType(isa.Inst{}, isa.Block{})
+}
+
+// TestCloneSharesNoMutableState walks the full object graphs of a core
+// and its clone with reflection. Any pointer, slice backing array, map,
+// or channel reachable from both is a field some clone.go forgot — the
+// kind of staleness that silently corrupts calibration memoization when
+// a struct grows a field.
+func TestCloneSharesNoMutableState(t *testing.T) {
+	t.Run("idle", func(t *testing.T) {
+		c := NewCore(Gold6226(), 1)
+		// Exercise the machine so every lazily-grown structure exists.
+		blocks := isa.MixChain(3, 4, true)
+		c.Enqueue(0, isa.NewLoopStream(blocks, 50), nil)
+		c.RunUntilIdle(1_000_000)
+		d := c.Clone()
+		if shared := clonecheck.Shared(c, d, allowShared()); len(shared) != 0 {
+			t.Fatalf("idle clone shares mutable state:\n%v", shared)
+		}
+	})
+
+	t.Run("mid-stream", func(t *testing.T) {
+		c := NewCore(Gold6226(), 1)
+		blocks := isa.MixChain(3, 4, true)
+		c.Enqueue(0, isa.NewLoopStream(blocks, 200), nil)
+		c.Enqueue(0, isa.NewLoopStream(blocks, 10), nil) // still queued
+		c.RunCycles(100)
+		if c.Idle() {
+			t.Fatal("core drained before the mid-stream snapshot")
+		}
+		d := c.Clone()
+		if shared := clonecheck.Shared(c, d, allowShared()); len(shared) != 0 {
+			t.Fatalf("mid-stream clone shares mutable state:\n%v", shared)
+		}
+	})
+}
+
+// TestCloneMidStreamReplaysIdentically pins that a core cloned with
+// in-flight work replays byte-for-byte: same cycle counts, same
+// counters, same retirement totals.
+func TestCloneMidStreamReplaysIdentically(t *testing.T) {
+	c := NewCore(Gold6226(), 1)
+	blocks := isa.MixChain(5, 6, true)
+	c.Enqueue(0, isa.NewLoopStream(blocks, 300), nil)
+	c.Enqueue(0, isa.NewLoopStream(blocks, 20), nil)
+	c.RunCycles(137)
+	if c.Idle() {
+		t.Fatal("core drained before the mid-stream snapshot")
+	}
+	d := c.Clone()
+
+	c.RunUntilIdle(10_000_000)
+	d.RunUntilIdle(10_000_000)
+
+	if c.Cycle() != d.Cycle() {
+		t.Fatalf("cycle divergence: original %d, clone %d", c.Cycle(), d.Cycle())
+	}
+	if c.Retired(0) != d.Retired(0) {
+		t.Fatalf("retired divergence: original %d, clone %d", c.Retired(0), d.Retired(0))
+	}
+	if c.Counters(0) != d.Counters(0) {
+		t.Fatalf("counter divergence:\noriginal %+v\nclone    %+v", c.Counters(0), d.Counters(0))
+	}
+	if co, cl := c.FE.SwitchBufferStats(), d.FE.SwitchBufferStats(); co != cl {
+		t.Fatalf("switch-buffer stats divergence:\noriginal %+v\nclone    %+v", co, cl)
+	}
+}
+
+// TestCloneRejectsCallbackTasks pins that cloning a core with a pending
+// completion callback panics instead of silently dropping the callback.
+func TestCloneRejectsCallbackTasks(t *testing.T) {
+	c := NewCore(Gold6226(), 1)
+	blocks := isa.MixChain(3, 4, true)
+	c.Enqueue(0, isa.NewLoopStream(blocks, 100), func(start, end uint64) {})
+	c.RunCycles(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clone with a callback-bearing in-flight task did not panic")
+		}
+	}()
+	c.Clone()
+}

@@ -7,9 +7,9 @@ import (
 
 // This file implements deep-copying of the frontend so a calibrated
 // simulator snapshot can be replayed byte-for-byte (the sweep engine's
-// calibration memoization). Every mutable structure is copied; the only
-// shared data is immutable (decoded instruction slices inside streams —
-// and streams must be drained anyway, see CloneWith).
+// calibration memoization, the leakage-contract executor's mid-stream
+// snapshots). Every mutable structure is copied; the only shared data is
+// immutable (decoded instruction slices inside streams).
 
 // Clone returns a deep copy of the DSB: identical contents, recency
 // ticks, partitioning mode, and statistics.
@@ -46,17 +46,28 @@ func (b *switchBuffer) clone() *switchBuffer {
 	return &c
 }
 
+// cloneStream snapshots an in-flight instruction stream. Streams built
+// from decoded instruction slices (LoopStream, SeqStream, Concat of
+// those) are cloneable; an arbitrary FuncStream is not, and a frontend
+// holding one mid-delivery cannot be cloned.
+func cloneStream(s isa.Stream) isa.Stream {
+	if s == nil {
+		return nil
+	}
+	cs, ok := s.(isa.CloneableStream)
+	if !ok {
+		panic("frontend: CloneWith on a non-cloneable in-flight stream")
+	}
+	return cs.CloneStream()
+}
+
 // CloneWith returns a deep copy of the frontend. The clone's L1I is the
 // caller-provided cache: the core owns the L1I and shares it with its
-// frontend, so the core clones it once and passes it in. Both threads'
-// streams must be drained — a frontend cannot be cloned mid-stream, and
-// an idle core guarantees this.
+// frontend, so the core clones it once and passes it in. In-flight
+// streams are snapshotted too, provided they are isa.CloneableStream
+// (every stream the attack and contract layers build is); CloneWith
+// panics on a live non-cloneable stream.
 func (f *Frontend) CloneWith(l1i *cache.Cache) *Frontend {
-	for t := 0; t < 2; t++ {
-		if f.thr[t].stream != nil {
-			panic("frontend: CloneWith on an undrained stream")
-		}
-	}
 	g := &Frontend{
 		P:     f.P,
 		DSB:   f.DSB.Clone(),
@@ -72,7 +83,13 @@ func (f *Frontend) CloneWith(l1i *cache.Cache) *Frontend {
 		g.lsd[t] = f.lsd[t].cloneWith(g.align)
 		g.idq[t] = f.idq[t]
 		g.idq[t].buf = append([]isa.Inst(nil), f.idq[t].buf...)
+		g.thr[t].stream = cloneStream(f.thr[t].stream)
 		g.dsbRes[t] = func(w uint64) bool { return g.DSB.Contains(t, w) }
 	}
 	return g
 }
+
+// Stream returns thread t's in-flight instruction stream, or nil when
+// drained. The core uses it after a clone to keep its task bookkeeping
+// pointing at the same snapshot the frontend delivers from.
+func (f *Frontend) Stream(t int) isa.Stream { return f.thr[t].stream }

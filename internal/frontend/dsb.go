@@ -157,6 +157,16 @@ func (d *DSB) Fill(thread int, window uint64, uops int) []Evicted {
 	return evicted
 }
 
+// TotalLines returns the number of valid cache lines resident across
+// every set — the occupancy observable of the leakage contract.
+func (d *DSB) TotalLines() int {
+	n := 0
+	for _, set := range d.sets {
+		n += d.usedLines(set)
+	}
+	return n
+}
+
 func (d *DSB) usedLines(set []dsbEntry) int {
 	n := 0
 	for _, e := range set {

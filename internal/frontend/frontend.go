@@ -116,6 +116,29 @@ func New(p Params, l1i *cache.Cache, lsdEnabled bool) *Frontend {
 // Align exposes the shared misalignment tracker (tests, experiments).
 func (f *Frontend) Align() *AlignTracker { return f.align }
 
+// DrainTransients models the pipeline serialization of a task or
+// context switch on thread t: fractional stall debt, the last delivery
+// source, prefix-decode and window-fill tracking all die with the
+// in-flight pipeline. Persistent structures — DSB, L1I, LSD, alignment
+// tracker, switch buffer, branch predictor — survive untouched; they are
+// the storage the paper's channels live in. The leakage contract drains
+// transients at phase boundaries so counterexamples implicate surviving
+// state, not leftover stall debt.
+func (f *Frontend) DrainTransients(t int) {
+	th := &f.thr[t]
+	th.stall = 0
+	th.lastSrc = SrcNone
+	th.prevLCP = false
+	th.fillActive = false
+	th.fillWindow = 0
+	th.fillUOps = 0
+	th.lastFetchLine = 0
+}
+
+// SwitchBufferStats returns the switch buffer's event counters. The
+// buffer is shared by both hardware threads, like the hardware it models.
+func (f *Frontend) SwitchBufferStats() SwitchStats { return f.sw.stats }
+
 // IDQLen returns the micro-ops buffered for thread t.
 func (f *Frontend) IDQLen(t int) int { return f.idq[t].size }
 

@@ -11,37 +11,61 @@ type switchBuffer struct {
 	addrs   []uint64
 	counts  []uint8
 	learned uint8 // occurrences before a transition point is free
+	stats   SwitchStats
 }
 
+// SwitchStats counts switch-buffer events since construction or reset.
+// The leakage fuzzer folds these into its coverage features, and the
+// contract records their per-window deltas as observables.
+type SwitchStats struct {
+	Hits      uint64 // transition at a learned entry (residual penalty)
+	Learns    uint64 // repeat occurrence still below the learned threshold
+	Conflicts uint64 // entry evicted by a colliding address
+	Inserts   uint64 // new transition point recorded (cold or conflict)
+}
+
+// newSwitchBuffer builds a buffer of the given capacity. A size of zero
+// (or negative) models hardware without transition-point memoization:
+// the buffer learns nothing and every switch pays the full penalty.
 func newSwitchBuffer(size int) *switchBuffer {
 	if size <= 0 {
-		size = 8
+		return &switchBuffer{learned: 2}
 	}
 	return &switchBuffer{addrs: make([]uint64, size), counts: make([]uint8, size), learned: 2}
 }
 
-// cost returns the penalty multiplier (1 = full penalty, 0..1 = learned)
-// for a transition at addr, and records the occurrence. Direct-mapped by
-// address; a conflicting address evicts the previous entry, which is what
-// defeats learning for dense transition patterns.
+// cost reports whether the transition at addr is learned (the caller
+// charges only the residual penalty) and records the occurrence.
+// Direct-mapped by address; a conflicting address evicts the previous
+// entry, which is what defeats learning for dense transition patterns.
 func (b *switchBuffer) cost(addr uint64) bool {
+	if len(b.addrs) == 0 {
+		return false // disabled: nothing learns, full penalty always
+	}
 	i := int(addr>>1) % len(b.addrs)
 	if b.addrs[i] == addr {
 		if b.counts[i] >= b.learned {
+			b.stats.Hits++
 			return true // learned: caller charges only the residual
 		}
+		b.stats.Learns++
 		b.counts[i]++
 		return false
 	}
+	if b.addrs[i] != 0 {
+		b.stats.Conflicts++
+	}
+	b.stats.Inserts++
 	b.addrs[i] = addr
 	b.counts[i] = 1
 	return false
 }
 
-// reset forgets all transition points.
+// reset forgets all transition points and clears the statistics.
 func (b *switchBuffer) reset() {
 	for i := range b.addrs {
 		b.addrs[i] = 0
 		b.counts[i] = 0
 	}
+	b.stats = SwitchStats{}
 }

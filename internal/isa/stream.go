@@ -116,12 +116,68 @@ func (s *ConcatStream) Next() (Inst, bool) {
 	return Inst{}, false
 }
 
+// CloneableStream is a Stream that can snapshot its position: the
+// returned stream continues from exactly the same point, independently.
+// A simulator holding a cloneable stream mid-delivery can therefore be
+// deep-cloned and replayed byte-for-byte (the contract executor's
+// mid-stream snapshots). All the package's data-backed streams implement
+// it; FuncStream — an arbitrary generator whose state lives in the
+// closure — cannot.
+type CloneableStream interface {
+	Stream
+	// CloneStream returns an independent continuation of the stream.
+	CloneStream() Stream
+}
+
+// CloneStream implements CloneableStream. The flat instruction slice is
+// immutable and shared; the position is copied.
+func (s *LoopStream) CloneStream() Stream {
+	c := *s
+	return &c
+}
+
+// CloneStream implements CloneableStream. The instruction slice is
+// immutable and shared; the position is copied.
+func (s *SeqStream) CloneStream() Stream {
+	c := *s
+	return &c
+}
+
+// CloneStream implements CloneableStream. Every sub-stream must itself
+// be cloneable; CloneStream panics otherwise.
+func (s *ConcatStream) CloneStream() Stream {
+	c := &ConcatStream{streams: make([]Stream, len(s.streams)), idx: s.idx}
+	for i, sub := range s.streams {
+		cs, ok := sub.(CloneableStream)
+		if !ok {
+			panic("isa: ConcatStream.CloneStream over a non-cloneable sub-stream")
+		}
+		c.streams[i] = cs.CloneStream()
+	}
+	return c
+}
+
 // FuncStream adapts a generator function to the Stream interface. The
 // victim workload generators use this to produce phase-dependent streams.
 type FuncStream func() (Inst, bool)
 
 // Next implements Stream.
 func (f FuncStream) Next() (Inst, bool) { return f() }
+
+// Collect drains a finite stream into a flat instruction slice — the
+// dynamic instruction sequence it would deliver, loop back-edges
+// resolved. The contract executor and the leakage fuzzer materialize
+// program phases this way. It consumes the stream.
+func Collect(s Stream) []Inst {
+	var insts []Inst
+	for {
+		in, ok := s.Next()
+		if !ok {
+			return insts
+		}
+		insts = append(insts, in)
+	}
+}
 
 // CountUOps drains a copy-free count of the total micro-ops a finite
 // stream would deliver. Intended for tests; it consumes the stream.

@@ -1,0 +1,42 @@
+package sgx
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/channel"
+	"repro/internal/clonecheck"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// TestCloneChannelSharesNoMutableState is the SGX counterpart of the
+// attack-package clone-completeness test: reflection over original and
+// clone, with only immutable block layouts and instruction slices
+// allowed to be shared.
+func TestCloneChannelSharesNoMutableState(t *testing.T) {
+	model := cpu.XeonE2174G()
+	allow := clonecheck.AllowType(isa.Inst{}, isa.Block{})
+
+	cfg := attack.DefaultNonMT(model, attack.Eviction, false)
+	cfg.P = NonMTIters
+	mtCfg := attack.DefaultMT(model, attack.Eviction)
+
+	channels := []struct {
+		name string
+		ch   channel.BitChannel
+	}{
+		{"SGX NonMT eviction", NewNonMT(cfg)},
+		{"SGX MT eviction", NewMT(mtCfg)},
+	}
+	for _, tc := range channels {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.ch.SendBit('1')
+			tc.ch.SendBit('0')
+			clone := tc.ch.(channel.Cloneable).CloneChannel()
+			if shared := clonecheck.Shared(tc.ch, clone, allow); len(shared) != 0 {
+				t.Fatalf("CloneChannel shares mutable state:\n%v", shared)
+			}
+		})
+	}
+}

@@ -198,11 +198,14 @@ func rangeClause(r Range) string {
 
 // validate vets a filter's fields the way ParseFilter vets a query's,
 // catching hand-built filters ParseFilter never saw: a malformed glob
-// (which Match silently never matches), one containing a comma (which
-// could never round-trip through String), an inverted or negative
-// range (which matches nothing and renders an unparseable query), or
-// an out-of-range Tri. Expand calls it so all of them become errors
-// instead of silent misbehavior.
+// (which Match silently never matches), one containing a comma or
+// surrounding whitespace (which could never round-trip through String
+// and the grammar's trimming), an inverted or negative range (which
+// matches nothing and renders an unparseable query), bounds on an
+// unset range (which String drops, so the reparse compares unequal),
+// or an out-of-range Tri. Expand calls it so all of them become errors
+// instead of silent misbehavior; every filter it accepts satisfies
+// ParseFilter(f.String()) == f.
 func (f Filter) validate() error {
 	for _, g := range []struct{ key, pattern string }{
 		{"model", f.Model}, {"mech", f.Mechanism}, {"thread", f.Threading}, {"sink", f.Sink},
@@ -225,6 +228,11 @@ func (f Filter) validate() error {
 	}{{"d", f.D}, {"m", f.M}, {"p", f.P}} {
 		if r.r.Set && (r.r.Lo < 0 || r.r.Hi < r.r.Lo) {
 			return fmt.Errorf("sweep: clause %q: bad range %d..%d (want 0 <= lo <= hi)", r.key+"="+r.r.String(), r.r.Lo, r.r.Hi)
+		}
+		if !r.r.Set && (r.r.Lo != 0 || r.r.Hi != 0) {
+			// Renders as no clause, so the reparse of String would compare
+			// unequal to the original — a malformed hand-built filter.
+			return fmt.Errorf("sweep: key %q: bounds %d..%d on an unset range (unconstrained must be the zero Range)", r.key, r.r.Lo, r.r.Hi)
 		}
 	}
 	for _, tv := range []struct {
@@ -264,6 +272,9 @@ func (f Filter) Match(s spec.ChannelSpec) bool {
 func parseGlob(pattern string) (string, error) {
 	if strings.ContainsRune(pattern, ',') {
 		return "", fmt.Errorf("bad pattern %q (a comma separates clauses and cannot appear in a glob)", pattern)
+	}
+	if pattern == "" || strings.TrimSpace(pattern) != pattern {
+		return "", fmt.Errorf("bad pattern %q (surrounding whitespace does not survive the grammar's clause trimming)", pattern)
 	}
 	if _, err := path.Match(pattern, ""); err != nil {
 		return "", fmt.Errorf("bad pattern %q", pattern)

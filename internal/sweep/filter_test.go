@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/defense"
+	"repro/internal/rng"
 	"repro/internal/spec"
 )
 
@@ -53,6 +54,84 @@ func TestParseFilterRoundTrip(t *testing.T) {
 		if back.String() != f.String() {
 			t.Errorf("String not canonical: %q vs %q", back.String(), f.String())
 		}
+	}
+}
+
+// TestFilterStringRoundTripProperty drives random hand-built filters —
+// including ones no query could produce — through validate and String.
+// The property: every filter validate accepts satisfies
+// ParseFilter(f.String()) == f, and every other one is rejected with an
+// error rather than rendering a query that silently reparses to a
+// different filter. This is what caught the two hand-built escapes the
+// parse-direction table never could: glob patterns with surrounding
+// whitespace (String renders them, but the grammar's clause trimming
+// eats the spaces on the way back) and bounds on an unset Range (String
+// drops the clause, so the reparse compares unequal).
+func TestFilterStringRoundTripProperty(t *testing.T) {
+	r := rng.New(11)
+	// Mostly-valid values with a junk tail, so the run exercises both the
+	// round-trip property and the reject-up-front property in bulk.
+	goodGlobs := []string{"", "xeon*", "Gold 6226", "*", "ev?ction", "[gx]*", "a=b"}
+	junkGlobs := []string{" xeon", "xeon ", " ", "[", "a,b"}
+	randGlob := func() string {
+		if r.Bool(0.2) {
+			return junkGlobs[r.Intn(len(junkGlobs))]
+		}
+		return goodGlobs[r.Intn(len(goodGlobs))]
+	}
+	goodDefenses := append([]string{"", "no*", "n?smt"}, defense.Names()...)
+	randDefense := func() string {
+		if r.Bool(0.2) {
+			return []string{" nosmt", "nosnt", "no,smt"}[r.Intn(3)]
+		}
+		return goodDefenses[r.Intn(len(goodDefenses))]
+	}
+	randTri := func() Tri {
+		if r.Bool(0.2) {
+			return Tri(3 + r.Intn(3))
+		}
+		return Tri(r.Intn(3))
+	}
+	randRange := func() Range {
+		if r.Bool(0.2) {
+			return Range{Lo: r.Intn(9) - 2, Hi: r.Intn(9) - 2, Set: r.Bool(0.7)}
+		}
+		if r.Bool(0.4) {
+			return Range{}
+		}
+		lo := r.Intn(7)
+		return Range{Lo: lo, Hi: lo + r.Intn(4), Set: true}
+	}
+	seen := 0
+	for i := 0; i < 3000; i++ {
+		f := Filter{
+			Model:     randGlob(),
+			Mechanism: randGlob(),
+			Threading: randGlob(),
+			Sink:      randGlob(),
+			SGX:       randTri(),
+			Stealthy:  randTri(),
+			Contended: randTri(),
+			Defense:   randDefense(),
+			D:         randRange(),
+			M:         randRange(),
+			P:         randRange(),
+		}
+		if err := f.validate(); err != nil {
+			continue // rejected up front is the correct outcome for junk
+		}
+		seen++
+		q := f.String()
+		back, err := ParseFilter(q)
+		if err != nil {
+			t.Fatalf("validate accepted %#v but String rendered unparseable %q: %v", f, q, err)
+		}
+		if back != f {
+			t.Fatalf("round trip changed the filter: %#v -> %q -> %#v", f, q, back)
+		}
+	}
+	if seen < 100 {
+		t.Fatalf("only %d of 3000 random filters were valid; generator too hostile to prove anything", seen)
 	}
 }
 

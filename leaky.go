@@ -27,11 +27,13 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/channel"
+	"repro/internal/contract"
 	"repro/internal/cpu"
 	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/fingerprint"
 	"repro/internal/fleet"
+	"repro/internal/leakfuzz"
 	"repro/internal/obs"
 	"repro/internal/runctx"
 	"repro/internal/serve"
@@ -724,3 +726,52 @@ func Figure12(o ExperimentOpts) (cnn, gb fingerprint.Distances, rendered string)
 	fd := d.(experiments.Figure12Data)
 	return fd.CNN, fd.Geekbench, s
 }
+
+// LeakObservation is one retired-instruction window of the frontend
+// leakage contract: every observable an attacker can in principle
+// resolve about it (delivery-path micro-op counts, switch and stall
+// events, occupancy deltas, timing, energy).
+type LeakObservation = contract.Observation
+
+// LeakTrace is a program's contract trace: its observation windows in
+// order. Two executions of the same public code with different secrets
+// must produce equal traces, or the secret leaks.
+type LeakTrace = contract.Trace
+
+// LeakDivergence is the first point where two contract traces differ —
+// a leakage counterexample.
+type LeakDivergence = contract.Divergence
+
+// LeakMechanism labels which known channel family a divergence belongs
+// to (misalignment, slowswitch, eviction, bpu, or unknown).
+type LeakMechanism = contract.Mechanism
+
+// LeakCheck runs a secret-pair on private simulated cores and reports
+// the first contract divergence between the probe traces, if any.
+func LeakCheck(m Model, seed uint64, pair contract.Pair) (LeakDivergence, bool) {
+	return contract.Check(m, seed, contract.DefaultParams(), pair)
+}
+
+// ClassifyLeak attributes a leak between two probe traces to a known
+// channel family.
+func ClassifyLeak(a, b LeakTrace) LeakMechanism { return contract.Classify(a, b) }
+
+// LeakFuzzOptions configures a coverage-guided leakage-fuzzing
+// campaign; see cmd/leakfuzz for the command-line driver.
+type LeakFuzzOptions = leakfuzz.Options
+
+// LeakFuzzReport summarizes a campaign: executions, coverage, and the
+// minimized, classified counterexamples it found.
+type LeakFuzzReport = leakfuzz.Report
+
+// LeakFuzzFinding is one minimized leakage counterexample with its
+// mechanism classification and candidate ChannelSpec.
+type LeakFuzzFinding = leakfuzz.Finding
+
+// LeakGenome is one fuzzing candidate: a secret-dependent preparation
+// program plus a public probe, as loop-phase genes.
+type LeakGenome = leakfuzz.Genome
+
+// LeakFuzz runs one deterministic leakage-fuzzing campaign: same
+// options, same report, findings and all.
+func LeakFuzz(o LeakFuzzOptions) LeakFuzzReport { return leakfuzz.Run(o) }
